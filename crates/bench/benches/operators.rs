@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks of the substrate operators (host wall time).
+//!
+//! The paper-comparable numbers are *simulated* times produced by the
+//! `repro` binary; these benches track the host-side cost of the simulator
+//! and operators themselves (regression guard).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ghostdb_bloom::BloomFilter;
+use ghostdb_flash::{FlashDevice, FlashGeometry, FlashTiming, SegmentAllocator};
+use ghostdb_storage::btree::BTree;
+use ghostdb_storage::idlist::write_id_list;
+use ghostdb_storage::IdListReader;
+use ghostdb_token::RamArena;
+
+fn bench_flash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flash");
+    group.bench_function("write_4k_pages", |b| {
+        b.iter_batched(
+            || {
+                FlashDevice::new(
+                    FlashGeometry::for_capacity(32 * 1024 * 1024),
+                    FlashTiming::default(),
+                )
+            },
+            |mut dev| {
+                let image = [7u8; 2048];
+                for lpn in 0..4096u64 {
+                    dev.write(lpn, &image).unwrap();
+                }
+                dev
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("read_4k_pages", |b| {
+        let mut dev = FlashDevice::new(
+            FlashGeometry::for_capacity(32 * 1024 * 1024),
+            FlashTiming::default(),
+        );
+        let image = [7u8; 2048];
+        for lpn in 0..4096u64 {
+            dev.write(lpn, &image).unwrap();
+        }
+        let mut buf = [0u8; 2048];
+        b.iter(|| {
+            for lpn in 0..4096u64 {
+                dev.read(lpn, 0, &mut buf).unwrap();
+            }
+            buf[0]
+        });
+    });
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom");
+    group.bench_function("insert_100k", |b| {
+        b.iter_batched(
+            || BloomFilter::new(vec![0u8; 100_000], 800_000, 4),
+            |mut bf| {
+                for id in 0..100_000u64 {
+                    bf.insert(id);
+                }
+                bf
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("probe_100k", |b| {
+        let mut bf = BloomFilter::new(vec![0u8; 100_000], 800_000, 4);
+        for id in 0..100_000u64 {
+            bf.insert(id);
+        }
+        b.iter(|| {
+            let mut hits = 0u64;
+            for id in 0..200_000u64 {
+                hits += bf.contains(id) as u64;
+            }
+            hits
+        });
+    });
+    group.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut dev = FlashDevice::new(
+        FlashGeometry::for_capacity(64 * 1024 * 1024),
+        FlashTiming::default(),
+    );
+    let mut alloc = SegmentAllocator::new(dev.logical_pages());
+    let entries: Vec<(u64, Vec<u8>)> = (0..200_000u64)
+        .map(|i| (i, (i as u32).to_le_bytes().to_vec()))
+        .collect();
+    let tree = BTree::bulk_build(&mut dev, &mut alloc, 4, &entries).unwrap();
+    let ram = RamArena::paper_default();
+    c.bench_function("btree/lookup_1k_random", |b| {
+        let mut cur = tree.cursor(&ram).unwrap();
+        b.iter(|| {
+            let mut found = 0u64;
+            for i in 0..1000u64 {
+                let key = (i * 104729) % 200_000;
+                found += cur.lookup(&mut dev, key).unwrap().is_some() as u64;
+            }
+            found
+        });
+    });
+}
+
+fn bench_idlist(c: &mut Criterion) {
+    let mut dev = FlashDevice::new(
+        FlashGeometry::for_capacity(64 * 1024 * 1024),
+        FlashTiming::default(),
+    );
+    let mut alloc = SegmentAllocator::new(dev.logical_pages());
+    let ram = RamArena::paper_default();
+    let ids: Vec<u32> = (0..500_000u32).collect();
+    let list = write_id_list(&mut dev, &mut alloc, &ram, &ids).unwrap();
+    c.bench_function("idlist/stream_500k", |b| {
+        b.iter(|| {
+            let mut r = IdListReader::open(list, &ram, dev.page_size()).unwrap();
+            let mut sum = 0u64;
+            while let Some(id) = r.next_id(&mut dev).unwrap() {
+                sum += id as u64;
+            }
+            sum
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_flash, bench_bloom, bench_btree, bench_idlist
+}
+criterion_main!(benches);

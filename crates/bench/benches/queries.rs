@@ -1,0 +1,44 @@
+//! Criterion macro-benchmarks: full GhostDB queries end to end (host wall
+//! time on a small synthetic instance — the paper-comparable simulated
+//! times come from the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ghostdb_bench::{build_synthetic, query_q, run_with};
+use ghostdb_exec::project::ProjectAlgo;
+use ghostdb_exec::strategy::VisStrategy;
+
+fn bench_queries(c: &mut Criterion) {
+    let (ds, mut db) = build_synthetic(0.001); // T0 = 10 000
+    let mut group = c.benchmark_group("query_q");
+    for (name, strategy) in [
+        ("cross_pre", VisStrategy::CrossPre),
+        ("cross_post", VisStrategy::CrossPost),
+        ("pre", VisStrategy::Pre),
+        ("post", VisStrategy::Post),
+    ] {
+        group.bench_function(format!("sv0.05/{name}"), |b| {
+            let q = query_q(&ds, &db, 0.05, false);
+            b.iter(|| run_with(&mut db, &q, strategy, ProjectAlgo::Project).result_rows);
+        });
+    }
+    group.bench_function("sv0.05/auto_with_projection", |b| {
+        let q = query_q(&ds, &db, 0.05, true);
+        b.iter(|| {
+            let (_, report) = ghostdb_exec::Executor::run(
+                &mut db,
+                &q,
+                &ghostdb_exec::ExecOptions::auto(),
+            )
+            .unwrap();
+            report.result_rows
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_queries
+}
+criterion_main!(benches);

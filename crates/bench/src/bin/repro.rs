@@ -1,0 +1,224 @@
+//! Regenerate every table and figure of the GhostDB paper evaluation (§6).
+//!
+//! ```text
+//! repro [--scale 0.1] [--medical-scale 1.0] [--figure all|7|8|9|10|11|12|13|14|15|16|table1]
+//! ```
+//!
+//! `--scale 1.0` is paper scale (T0 = 10 M tuples); the default 0.1 keeps
+//! the whole suite in laptop territory while preserving every shape (all
+//! costs are linear in I/O volume). Reported times are simulated times from
+//! the Table 1 cost model — deterministic across runs.
+
+use ghostdb_bench::*;
+use ghostdb_exec::strategy::VisStrategy;
+
+fn parse_args() -> (f64, f64, String) {
+    let mut scale = 0.1f64;
+    let mut med_scale = 1.0f64;
+    let mut figure = "all".to_string();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args[i + 1].parse().expect("bad --scale");
+                i += 2;
+            }
+            "--medical-scale" => {
+                med_scale = args[i + 1].parse().expect("bad --medical-scale");
+                i += 2;
+            }
+            "--figure" => {
+                figure = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    (scale, med_scale, figure)
+}
+
+fn print_sweep(title: &str, xlabel: &str, points: &[SweepPoint]) {
+    println!("\n== {title} ==");
+    let names: Vec<&str> = points[0]
+        .series
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
+    print!("{xlabel:>10}");
+    for n in &names {
+        print!(" {n:>20}");
+    }
+    println!();
+    for p in points {
+        print!("{:>10.3}", p.x);
+        for (_, v) in &p.series {
+            match v {
+                Some(secs) => print!(" {:>19.3}s", secs),
+                None => print!(" {:>20}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+fn want(figure: &str, name: &str) -> bool {
+    figure == "all" || figure == name
+}
+
+fn main() {
+    let (scale, med_scale, figure) = parse_args();
+    println!("GhostDB evaluation reproduction — synthetic scale {scale} (1.0 = T0 10M), medical scale {med_scale}");
+
+    if want(&figure, "7") {
+        let (sweep, dbsize) = figure7();
+        println!("\n== Figure 7: storage cost of the indexing schemes (MB, paper-scale model) ==");
+        println!("{:>22} {:>12} {:>12} {:>12} {:>12} {:>12}", "x (hidden attrs/table)", "FullIndex", "BasicIndex", "StarIndex", "JoinIndex", "DBSize");
+        for (x, schemes) in &sweep {
+            print!("{x:>22}");
+            for (_, mb) in schemes {
+                print!(" {mb:>12.1}");
+            }
+            println!(" {dbsize:>12.1}");
+        }
+        println!("\n-- Figure 7 (real/medical dataset sizes, MB) --");
+        let med = figure7_medical();
+        let labels = ["FullIndex", "BasicIndex", "StarIndex", "JoinIndex", "DBSize"];
+        for (label, (_, mb)) in labels.iter().zip(&med) {
+            println!("{label:>12}: {mb:>10.1} MB");
+        }
+    }
+
+    let needs_synth = ["8", "9", "10", "11", "12", "13", "14", "15", "table1"]
+        .iter()
+        .any(|f| want(&figure, f));
+    if needs_synth {
+        eprintln!("building synthetic dataset (scale {scale})...");
+        let (ds, mut db) = build_synthetic(scale);
+
+        if want(&figure, "table1") {
+            println!("\n== Table 1: performance parameters of the simulated USB key ==");
+            for (k, v) in table1(&db) {
+                println!("  {k:<58} {v}");
+            }
+        }
+        if want(&figure, "8") {
+            let pts = figure_filtering(
+                &ds,
+                &mut db,
+                &[
+                    VisStrategy::Pre,
+                    VisStrategy::CrossPre,
+                    VisStrategy::Post,
+                    VisStrategy::CrossPost,
+                ],
+            );
+            print_sweep("Figure 8: Filtering vs Cross-Filtering", "sV", &pts);
+        }
+        if want(&figure, "9") {
+            let pts = figure_filtering(
+                &ds,
+                &mut db,
+                &[VisStrategy::CrossPre, VisStrategy::CrossPost],
+            );
+            print_sweep("Figure 9: Cross-Pre vs Cross-Post", "sV", &pts);
+        }
+        if want(&figure, "10") {
+            let pts = figure_filtering(
+                &ds,
+                &mut db,
+                &[VisStrategy::Pre, VisStrategy::Post, VisStrategy::NoFilter],
+            );
+            print_sweep("Figure 10: Pre vs Post-Filtering (no Cross)", "sV", &pts);
+        }
+        if want(&figure, "11") {
+            let pts = figure_filtering(
+                &ds,
+                &mut db,
+                &[
+                    VisStrategy::Post,
+                    VisStrategy::PostSelect,
+                    VisStrategy::CrossPost,
+                    VisStrategy::CrossPostSelect,
+                ],
+            );
+            print_sweep("Figure 11: Post-Filtering alternatives", "sV", &pts);
+        }
+        if want(&figure, "12") {
+            let pts = figure_projection(&ds, &mut db, VisStrategy::CrossPre);
+            print_sweep("Figure 12: Projection under Cross-Pre-Filtering", "sV", &pts);
+        }
+        if want(&figure, "13") {
+            let pts = figure_projection(&ds, &mut db, VisStrategy::CrossPost);
+            print_sweep("Figure 13: Projection under Cross-Post-Filtering", "sV", &pts);
+        }
+        if want(&figure, "14") {
+            let pts = figure_throughput(&ds, &mut db);
+            print_sweep(
+                "Figure 14: Impact of communication throughput (Cross-Pre, sV=0.01)",
+                "MB/s",
+                &pts,
+            );
+        }
+        if want(&figure, "15") {
+            println!("\n== Figure 15: cost decomposition, synthetic dataset (seconds, comm. excluded) ==");
+            let mut queries = Vec::new();
+            for sv in [0.01, 0.05, 0.2] {
+                queries.push(query_q(&ds, &db, sv, false));
+            }
+            let mut mk_query = {
+                let queries = queries.clone();
+                move |sv: f64| {
+                    let idx = match sv {
+                        s if s == 0.01 => 0,
+                        s if s == 0.05 => 1,
+                        _ => 2,
+                    };
+                    queries[idx].clone()
+                }
+            };
+            let rows = figure_decomposition(&mut mk_query, &mut db);
+            print_decomposition(&rows);
+        }
+    }
+
+    if want(&figure, "16") {
+        eprintln!("building medical dataset (scale {med_scale})...");
+        let (mds, mut mdb) = build_medical(med_scale);
+        println!("\n== Figure 16: cost decomposition, medical dataset (seconds, comm. excluded) ==");
+        let mut queries = Vec::new();
+        for sv in [0.01, 0.05, 0.2] {
+            queries.push(medical_q(&mds, &mdb, sv));
+        }
+        let mut mk_query = {
+            let queries = queries.clone();
+            move |sv: f64| {
+                let idx = match sv {
+                    s if s == 0.01 => 0,
+                    s if s == 0.05 => 1,
+                    _ => 2,
+                };
+                queries[idx].clone()
+            }
+        };
+        let rows = figure_decomposition(&mut mk_query, &mut mdb);
+        print_decomposition(&rows);
+    }
+}
+
+fn print_decomposition(rows: &[(String, [(String, f64); 4])]) {
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "config", "Merge", "Sjoin", "Store", "Project", "total"
+    );
+    for (label, buckets) in rows {
+        let total: f64 = buckets.iter().map(|(_, v)| v).sum();
+        println!(
+            "{label:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {total:>10.3}",
+            buckets[0].1, buckets[1].1, buckets[2].1, buckets[3].1
+        );
+    }
+}

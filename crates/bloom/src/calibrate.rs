@@ -1,0 +1,139 @@
+//! RAM-aware calibration of Bloom filters (paper §3.4 and Figure 10).
+
+use crate::filter::theoretical_fp;
+
+/// Outcome of calibrating a Bloom filter for `n` elements under a RAM
+/// budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BloomCalibration {
+    /// Chosen bit-vector size.
+    pub m_bits: u64,
+    /// Number of hash functions (the paper fixes k = 4).
+    pub k: u32,
+    /// Bytes of RAM the bit vector occupies.
+    pub bytes: usize,
+    /// Theoretical false-positive rate at fill `n`.
+    pub expected_fp: f64,
+    /// Achieved bits-per-element ratio (8.0 when unconstrained).
+    pub ratio: f64,
+}
+
+/// Preferred bits-per-element (m = 8n, fp ≈ 0.024 with k = 4).
+pub const PREFERRED_RATIO: u64 = 8;
+
+/// Number of hash functions used throughout the paper.
+pub const PAPER_K: u32 = 4;
+
+/// Calibrate a filter for `n` elements within `ram_budget_bytes`.
+///
+/// Strategy straight from §3.4: use `m = 8n` when it fits; otherwise
+/// "decrease the ratio m/n accordingly, entailing a smooth degradation of
+/// the Bloom filter accuracy". Returns `None` when even one bit per element
+/// cannot fit — at that point a Bloom filter is pointless and the planner
+/// must fall back (NoFilter / projection-time exact selection).
+pub fn calibrate(n: u64, ram_budget_bytes: usize) -> Option<BloomCalibration> {
+    if n == 0 {
+        // A filter over the empty set rejects everything; one byte suffices.
+        return Some(BloomCalibration {
+            m_bits: 8,
+            k: PAPER_K,
+            bytes: 1,
+            expected_fp: 0.0,
+            ratio: 8.0,
+        });
+    }
+    let budget_bits = (ram_budget_bytes as u64) * 8;
+    let preferred = n * PREFERRED_RATIO;
+    let m_bits = preferred.min(budget_bits);
+    if m_bits < n {
+        // Less than one bit per element: accuracy collapses entirely.
+        return None;
+    }
+    Some(BloomCalibration {
+        m_bits,
+        k: PAPER_K,
+        bytes: m_bits.div_ceil(8) as usize,
+        expected_fp: theoretical_fp(m_bits, n, PAPER_K),
+        ratio: m_bits as f64 / n as f64,
+    })
+}
+
+/// Decide whether a post-filter Bloom is *useful*: it must be expected to
+/// eliminate more tuples than the false positives it lets through.
+///
+/// `n_filter` is the cardinality of the set the filter is built over (the
+/// visible selection) and `selectivity` the fraction of the probed stream
+/// that genuinely matches. Figure 10's Post-Filter curve "stops at sV = 0.5
+/// … the Bloom filter introduces more false positives than it can eliminate
+/// … even if the entire RAM is allocated": with fp ≥ the fraction of
+/// non-matching tuples it would remove, skip it.
+pub fn worth_post_filtering(n_filter: u64, selectivity: f64, ram_budget_bytes: usize) -> bool {
+    match calibrate(n_filter, ram_budget_bytes) {
+        None => false,
+        Some(c) => {
+            // Fraction of the probed stream surviving the filter:
+            // matches (selectivity) + false positives on the complement.
+            let pass = selectivity + (1.0 - selectivity) * c.expected_fp;
+            // Useful only if it prunes at least 30% of the stream; below
+            // that the probe cost outweighs the savings (the paper's
+            // planner simply "does not execute" Post-Filter then).
+            (1.0 - pass) > 0.3
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_uses_preferred_ratio() {
+        let c = calibrate(1_000, 64 * 1024).unwrap();
+        assert_eq!(c.m_bits, 8_000);
+        assert_eq!(c.k, 4);
+        assert_eq!(c.bytes, 1_000);
+        assert!((c.expected_fp - 0.024).abs() < 0.005);
+        assert_eq!(c.ratio, 8.0);
+    }
+
+    #[test]
+    fn ram_bound_degrades_smoothly() {
+        // 100k elements, 64 KB RAM: 524288 bits / 100000 ≈ 5.24 bits per
+        // element — degraded but still usable.
+        let c = calibrate(100_000, 65_536).unwrap();
+        assert_eq!(c.m_bits, 524_288);
+        assert!(c.ratio < 8.0 && c.ratio > 5.0);
+        assert!(c.expected_fp > 0.024 && c.expected_fp < 0.2);
+    }
+
+    #[test]
+    fn hopeless_budget_returns_none() {
+        // 1M elements, 64KB = 524288 bits < 1 bit/element.
+        assert!(calibrate(1_000_000, 65_536).is_none());
+    }
+
+    #[test]
+    fn empty_set_is_trivial() {
+        let c = calibrate(0, 1024).unwrap();
+        assert_eq!(c.expected_fp, 0.0);
+    }
+
+    #[test]
+    fn post_filter_worthwhile_at_high_selectivity() {
+        // Small visible selection: great filter.
+        assert!(worth_post_filtering(1_000, 0.01, 65_536));
+    }
+
+    #[test]
+    fn post_filter_pointless_past_half() {
+        // sV = 0.5 on 500k elements with 64KB RAM: ratio ≈ 1.05, fp ≈ 1 —
+        // the Figure 10 cutoff.
+        assert!(!worth_post_filtering(500_000, 0.5, 65_536));
+    }
+
+    #[test]
+    fn post_filter_pointless_when_selectivity_low() {
+        // Even a perfect filter that keeps 90% of the stream isn't worth it.
+        assert!(!worth_post_filtering(1_000, 0.9, 65_536));
+    }
+}

@@ -1,0 +1,89 @@
+//! Hashing for Bloom filters.
+//!
+//! The paper requires k *independent* hash functions (§3.3, citing Bloom
+//! 1970). We derive them by double hashing — `h_i(x) = h1(x) + i·h2(x)` —
+//! over two strong 64-bit mixers, which is the standard construction
+//! (Kirsch & Mitzenmacher) and is indistinguishable from independent hashes
+//! for Bloom-filter purposes. No external crates needed.
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mixer.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Second independent mixer (Murmur3 finalizer with different constants).
+#[inline]
+pub fn mix64_alt(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
+/// The pair `(h1, h2)` feeding double hashing. `h2` is forced odd so the
+/// probe sequence cycles through all bit positions for power-of-two sizes
+/// and never degenerates to a constant.
+#[inline]
+pub fn hash_pair(key: u64) -> (u64, u64) {
+    let h1 = mix64(key);
+    let h2 = mix64_alt(key) | 1;
+    (h1, h2)
+}
+
+/// The `i`-th derived hash of `key`.
+#[inline]
+pub fn hash_i(key: u64, i: u32) -> u64 {
+    let (h1, h2) = hash_pair(key);
+    h1.wrapping_add((i as u64).wrapping_mul(h2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mixers_have_no_trivial_collisions() {
+        let mut seen = HashSet::new();
+        for x in 0u64..10_000 {
+            assert!(seen.insert(mix64(x)), "mix64 collision at {x}");
+        }
+        let mut seen = HashSet::new();
+        for x in 0u64..10_000 {
+            assert!(seen.insert(mix64_alt(x)), "mix64_alt collision at {x}");
+        }
+    }
+
+    #[test]
+    fn derived_hashes_differ_per_index() {
+        let hs: Vec<u64> = (0..4).map(|i| hash_i(42, i)).collect();
+        let set: HashSet<_> = hs.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn h2_is_odd() {
+        for x in 0u64..1000 {
+            assert_eq!(hash_pair(x).1 & 1, 1);
+        }
+    }
+
+    #[test]
+    fn sequential_keys_spread_across_small_ranges() {
+        // IDs in GhostDB are dense integers; mixed values must spread evenly
+        // over a small bit-vector.
+        let m = 1024u64;
+        let mut histogram = vec![0u32; m as usize];
+        for id in 0u64..8 * m {
+            histogram[(mix64(id) % m) as usize] += 1;
+        }
+        let max = *histogram.iter().max().unwrap();
+        let min = *histogram.iter().min().unwrap();
+        assert!(max < 30 && min > 0, "poor spread: min={min} max={max}");
+    }
+}

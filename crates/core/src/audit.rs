@@ -1,0 +1,152 @@
+//! The leak auditor: checks the channel transcript against GhostDB's
+//! security contract.
+//!
+//! The contract (paper §1–§2): an observer of the PC and the wire learns
+//! (a) the query text and (b) which visible data flowed *into* the token —
+//! both functions of the (public) query alone. Nothing else may leave the
+//! token: no hidden values, no intermediate results, not even result
+//! cardinalities beyond the single acknowledgement byte.
+//!
+//! The auditor replays the transcript the channel recorded (exactly what a
+//! wire snooper captures) and flags any flow outside the contract.
+
+use ghostdb_token::{Direction, TranscriptEntry};
+use std::fmt;
+
+/// A summarised wire flow.
+#[derive(Debug, Clone)]
+pub struct FlowSummary {
+    /// Direction.
+    pub direction: Direction,
+    /// Transfer tag.
+    pub tag: String,
+    /// Bytes observed.
+    pub bytes: u64,
+}
+
+/// Outcome of auditing a transcript.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// True when every flow satisfied the contract.
+    pub ok: bool,
+    /// Human-readable violations (empty when `ok`).
+    pub violations: Vec<String>,
+    /// Total bytes PC → token.
+    pub inbound_bytes: u64,
+    /// Total bytes token → PC.
+    pub outbound_bytes: u64,
+    /// All flows, in wire order.
+    pub flows: Vec<FlowSummary>,
+}
+
+/// Audit a transcript.
+pub fn audit_transcript(entries: &[TranscriptEntry]) -> AuditReport {
+    let mut violations = Vec::new();
+    let mut inbound = 0u64;
+    let mut outbound = 0u64;
+    let mut flows = Vec::with_capacity(entries.len());
+    for e in entries {
+        flows.push(FlowSummary {
+            direction: e.direction,
+            tag: e.tag.clone(),
+            bytes: e.bytes,
+        });
+        match e.direction {
+            Direction::ToSecure => {
+                inbound += e.bytes;
+                if e.tag != "query" && !e.tag.starts_with("Vis(") {
+                    violations.push(format!(
+                        "unexpected inbound flow '{}' ({} bytes)",
+                        e.tag, e.bytes
+                    ));
+                }
+            }
+            Direction::ToUntrusted => {
+                outbound += e.bytes;
+                if e.tag != "query-ack" {
+                    violations.push(format!(
+                        "TOKEN LEAK: outbound flow '{}' ({} bytes)",
+                        e.tag, e.bytes
+                    ));
+                } else if e.bytes > 8 {
+                    violations.push(format!(
+                        "query-ack suspiciously large ({} bytes): possible covert channel",
+                        e.bytes
+                    ));
+                }
+            }
+        }
+    }
+    AuditReport {
+        ok: violations.is_empty(),
+        violations,
+        inbound_bytes: inbound,
+        outbound_bytes: outbound,
+        flows,
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "leak audit: {} ({} flows, {} B in, {} B out)",
+            if self.ok { "CLEAN" } else { "VIOLATIONS" },
+            self.flows.len(),
+            self.inbound_bytes,
+            self.outbound_bytes
+        )?;
+        for flow in &self.flows {
+            let arrow = match flow.direction {
+                Direction::ToSecure => "PC → token",
+                Direction::ToUntrusted => "token → PC",
+            };
+            writeln!(f, "  {arrow}  {:<40} {:>10} B", flow.tag, flow.bytes)?;
+        }
+        for v in &self.violations {
+            writeln!(f, "  !! {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_token::Channel;
+
+    #[test]
+    fn clean_transcript_passes() {
+        let mut ch = Channel::usb_full_speed();
+        ch.send_to_secure("query", b"SELECT 1");
+        ch.send_to_secure("Vis(T1).ids", &[0u8; 40]);
+        ch.send_to_untrusted("query-ack", &[1]);
+        let report = audit_transcript(ch.transcript());
+        assert!(report.ok, "{report}");
+        assert_eq!(report.inbound_bytes, 48);
+        assert_eq!(report.outbound_bytes, 1);
+    }
+
+    #[test]
+    fn outbound_data_is_flagged() {
+        let mut ch = Channel::usb_full_speed();
+        ch.send_to_untrusted("result-rows", &[0u8; 100]);
+        let report = audit_transcript(ch.transcript());
+        assert!(!report.ok);
+        assert!(report.violations[0].contains("TOKEN LEAK"));
+    }
+
+    #[test]
+    fn covert_ack_is_flagged() {
+        let mut ch = Channel::usb_full_speed();
+        ch.send_to_untrusted("query-ack", &[0u8; 64]);
+        assert!(!audit_transcript(ch.transcript()).ok);
+    }
+
+    #[test]
+    fn unknown_inbound_is_flagged() {
+        let mut ch = Channel::usb_full_speed();
+        ch.send_to_secure("firmware-update", &[0u8; 8]);
+        assert!(!audit_transcript(ch.transcript()).ok);
+    }
+}

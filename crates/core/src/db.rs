@@ -1,0 +1,501 @@
+//! The GhostDB facade: DDL with `HIDDEN` annotations, bulk loading, SQL
+//! queries, explain, and the leak audit — the full §1 mode of operation.
+
+use crate::audit::{audit_transcript, AuditReport};
+use crate::error::CoreError;
+use crate::sql::{self, SelectStmt, Statement};
+use crate::Result;
+use ghostdb_exec::database::{ColumnLoad, Database, TableLoad};
+use ghostdb_exec::project::ProjectAlgo;
+use ghostdb_exec::query::analyze;
+use ghostdb_exec::strategy::{VisDecision, VisStrategy};
+use ghostdb_exec::{optimizer, ExecCtx, ExecOptions, ExecReport, Executor, ResultSet, SpjQuery};
+use ghostdb_storage::schema::{Column, SchemaTree, TableDef, Visibility};
+use ghostdb_storage::{Id, Value};
+use ghostdb_token::TokenConfig;
+use std::rc::Rc;
+
+/// Configuration of a GhostDB instance.
+#[derive(Debug, Clone)]
+pub struct GhostDbConfig {
+    /// The simulated smart USB key (§6.1 platform by default).
+    pub token: TokenConfig,
+    /// Capture channel payloads in the transcript (leak-audit demos).
+    pub capture_channel: bool,
+    /// Build climbing indexes on every hidden non-key column at load time
+    /// (the paper's fully indexed model). Disable to index selectively via
+    /// the lower-level API.
+    pub index_hidden: bool,
+}
+
+impl Default for GhostDbConfig {
+    fn default() -> Self {
+        GhostDbConfig {
+            token: TokenConfig::paper_platform(64 * 1024 * 1024),
+            capture_channel: false,
+            index_hidden: true,
+        }
+    }
+}
+
+/// Per-query options.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Force one filtering strategy for all visible selections.
+    pub strategy: Option<VisStrategy>,
+    /// Pin strategies per table (Mixed plans).
+    pub per_table: Vec<(String, VisStrategy)>,
+    /// Projection algorithm.
+    pub project: Option<ProjectAlgo>,
+}
+
+/// A GhostDB instance: schema staging, the loaded database, and the two
+/// devices.
+pub struct GhostDb {
+    config: GhostDbConfig,
+    defs: Vec<TableDef>,
+    staged: Vec<(String, Vec<Vec<Value>>)>,
+    db: Option<Database>,
+}
+
+impl GhostDb {
+    /// New, empty instance.
+    pub fn new(config: GhostDbConfig) -> Self {
+        GhostDb {
+            config,
+            defs: Vec::new(),
+            staged: Vec::new(),
+            db: None,
+        }
+    }
+
+    /// Wrap an externally assembled database (e.g. from `ghostdb-datagen`).
+    pub fn from_database(db: Database) -> Self {
+        GhostDb {
+            config: GhostDbConfig::default(),
+            defs: Vec::new(),
+            staged: Vec::new(),
+            db: Some(db),
+        }
+    }
+
+    /// Execute a DDL statement (`CREATE TABLE … HIDDEN …`).
+    pub fn execute(&mut self, sql_text: &str) -> Result<()> {
+        match sql::parse(sql_text)? {
+            Statement::CreateTable(ct) => {
+                if self.db.is_some() {
+                    return Err(CoreError::Semantic(
+                        "schema is frozen once data is loaded onto the token".into(),
+                    ));
+                }
+                let mut def = TableDef::new(&ct.name);
+                for c in ct.columns {
+                    match c.references {
+                        Some(target) => {
+                            if !c.hidden {
+                                return Err(CoreError::Semantic(format!(
+                                    "foreign key {}.{} must be HIDDEN (the design guideline \
+                                     of §2.1: keys linking tuples are the sensitive part)",
+                                    ct.name, c.name
+                                )));
+                            }
+                            def = def.with_fk(&c.name, &target);
+                        }
+                        None => {
+                            let col = if c.hidden {
+                                Column::hidden(&c.name, c.ty)
+                            } else {
+                                Column::visible(&c.name, c.ty)
+                            };
+                            def = def.with_column(col);
+                        }
+                    }
+                }
+                self.defs.push(def);
+                Ok(())
+            }
+            Statement::Select(_) => Err(CoreError::Semantic(
+                "use query() for SELECT statements".into(),
+            )),
+        }
+    }
+
+    /// Stage rows for a table. Values follow the declared column order
+    /// (excluding the implicit `id`); foreign-key cells are integers.
+    pub fn insert_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<()> {
+        if self.db.is_some() {
+            return Err(CoreError::Semantic(
+                "data is frozen once loaded onto the token".into(),
+            ));
+        }
+        let def = self
+            .defs
+            .iter()
+            .find(|d| d.name == table)
+            .ok_or_else(|| CoreError::Semantic(format!("unknown table {table}")))?;
+        for row in &rows {
+            if row.len() != def.columns.len() {
+                return Err(CoreError::Semantic(format!(
+                    "{} expects {} values per row, got {}",
+                    table,
+                    def.columns.len(),
+                    row.len()
+                )));
+            }
+        }
+        match self.staged.iter_mut().find(|(n, _)| n == table) {
+            Some((_, slot)) => slot.extend(rows),
+            None => self.staged.push((table.to_string(), rows)),
+        }
+        Ok(())
+    }
+
+    /// Burn the key: vertically partition every table, download the hidden
+    /// partition + indexes onto the token, hand the visible partition to
+    /// the PC. Implicit on the first query.
+    pub fn finalize(&mut self) -> Result<()> {
+        if self.db.is_some() {
+            return Ok(());
+        }
+        let schema = SchemaTree::new(self.defs.clone())?;
+        let mut loads = Vec::new();
+        for def in &self.defs {
+            let rows: Rc<Vec<Vec<Value>>> = Rc::new(
+                self.staged
+                    .iter()
+                    .find(|(n, _)| *n == def.name)
+                    .map(|(_, r)| r.clone())
+                    .unwrap_or_default(),
+            );
+            let n = rows.len() as u64;
+            let mut fks = Vec::new();
+            let mut columns = Vec::new();
+            for (ci, col) in def.columns.iter().enumerate() {
+                if def.is_fk(&col.name) {
+                    let arr: Vec<Id> = rows
+                        .iter()
+                        .map(|r| match &r[ci] {
+                            Value::Int(v) => Ok(*v as Id),
+                            other => Err(CoreError::Semantic(format!(
+                                "foreign key {}.{} must be an integer, got {other:?}",
+                                def.name, col.name
+                            ))),
+                        })
+                        .collect::<Result<_>>()?;
+                    fks.push((col.name.clone(), arr));
+                } else {
+                    let rows = rows.clone();
+                    let ci_copy = ci;
+                    columns.push(ColumnLoad {
+                        name: col.name.clone(),
+                        gen: Box::new(move |r| rows[r as usize][ci_copy].clone()),
+                        index: self.config.index_hidden && col.visibility == Visibility::Hidden,
+                        exact: None, // verified by the loader
+                    });
+                }
+            }
+            loads.push(TableLoad {
+                table: def.name.clone(),
+                rows: n,
+                fks,
+                columns,
+            });
+        }
+        let mut config = self.config.token.clone();
+        config.capture_channel = self.config.capture_channel;
+        self.db = Some(Database::assemble(schema, &config, loads)?);
+        Ok(())
+    }
+
+    fn translate(&self, stmt: &SelectStmt) -> Result<SpjQuery> {
+        let db = self.db.as_ref().expect("finalized");
+        let schema = &db.schema;
+        let mut q = SpjQuery::new();
+        q.text = stmt.text.clone();
+        for name in &stmt.tables {
+            q = q.table(schema.table_id(name)?);
+        }
+        // Validate join conditions against the schema's fk edges.
+        for ((lt, lc), (rt, rc)) in &stmt.joins {
+            let valid = |ft: &str, fc: &str, pt: &str, pc: &str| -> Result<bool> {
+                let f = schema.table_id(ft)?;
+                let def = schema.def(f);
+                Ok(pc == "id"
+                    && def
+                        .foreign_keys
+                        .iter()
+                        .any(|fk| fk.column == fc && fk.references == pt))
+            };
+            if !(valid(lt, lc, rt, rc)? || valid(rt, rc, lt, lc)?) {
+                return Err(CoreError::Semantic(format!(
+                    "join {lt}.{lc} = {rt}.{rc} does not follow a declared key/foreign-key edge"
+                )));
+            }
+        }
+        for (tname, pred) in &stmt.predicates {
+            q = q.pred(schema.table_id(tname)?, pred.clone());
+        }
+        if stmt.star {
+            for tname in &stmt.tables {
+                let t = schema.table_id(tname)?;
+                q = q.project(t, "id");
+                for col in &schema.def(t).columns.clone() {
+                    if !schema.def(t).is_fk(&col.name) {
+                        q = q.project(t, &col.name);
+                    }
+                }
+            }
+        } else {
+            for (tname, col) in &stmt.projections {
+                q = q.project(schema.table_id(tname)?, col);
+            }
+        }
+        Ok(q)
+    }
+
+    fn exec_options(&self, opts: &QueryOptions) -> Result<ExecOptions> {
+        let db = self.db.as_ref().expect("finalized");
+        let mut strategies = Vec::new();
+        for (tname, s) in &opts.per_table {
+            strategies.push(VisDecision {
+                table: db.schema.table_id(tname)?,
+                strategy: *s,
+            });
+        }
+        Ok(ExecOptions {
+            strategies,
+            forced_strategy: opts.strategy,
+            project: opts.project,
+        })
+    }
+
+    /// Run a SELECT with default (automatic) options.
+    pub fn query(&mut self, sql_text: &str) -> Result<ResultSet> {
+        Ok(self.query_with(sql_text, &QueryOptions::default())?.0)
+    }
+
+    /// Run a SELECT with explicit options; returns the execution report
+    /// alongside the rows.
+    pub fn query_with(
+        &mut self,
+        sql_text: &str,
+        opts: &QueryOptions,
+    ) -> Result<(ResultSet, ExecReport)> {
+        self.finalize()?;
+        let Statement::Select(stmt) = sql::parse(sql_text)? else {
+            return Err(CoreError::Semantic("expected a SELECT statement".into()));
+        };
+        let q = self.translate(&stmt)?;
+        let exec_opts = self.exec_options(opts)?;
+        let db = self.db.as_mut().expect("finalized");
+        Ok(Executor::run(db, &q, &exec_opts)?)
+    }
+
+    /// Describe the plan the optimizer would choose, without executing.
+    pub fn explain(&mut self, sql_text: &str) -> Result<String> {
+        self.finalize()?;
+        let Statement::Select(stmt) = sql::parse(sql_text)? else {
+            return Err(CoreError::Semantic("expected a SELECT statement".into()));
+        };
+        let q = self.translate(&stmt)?;
+        let db = self.db.as_mut().expect("finalized");
+        let a = analyze(&db.schema, &q)?;
+        let ctx = ExecCtx::new(db);
+        let decisions = optimizer::decide(&ctx, &a)?;
+        let mut out = String::new();
+        out.push_str(&format!("query: {}\n", q.text));
+        for sel in &a.hid_sels {
+            out.push_str(&format!(
+                "  hidden selection on {}.{} → climbing index{}\n",
+                ctx.schema.def(sel.table).name,
+                sel.pred.column,
+                if sel.exact { "" } else { " (+ exact re-check at projection)" }
+            ));
+        }
+        for d in &decisions {
+            out.push_str(&format!(
+                "  visible selection on {} → {}\n",
+                ctx.schema.def(d.table).name,
+                d.strategy.name()
+            ));
+        }
+        if a.hid_sels.is_empty() && decisions.is_empty() {
+            out.push_str("  no selections: full root scan via SKT\n");
+        }
+        out.push_str("  projection: Figure 5 Project algorithm (Bloom-filtered σVH + MJoin)\n");
+        Ok(out)
+    }
+
+    /// Audit the channel transcript of the last query (or of everything
+    /// since the channel was last reset).
+    pub fn audit(&self) -> Result<AuditReport> {
+        let db = self
+            .db
+            .as_ref()
+            .ok_or_else(|| CoreError::Semantic("no data loaded".into()))?;
+        Ok(audit_transcript(db.token.channel.transcript()))
+    }
+
+    /// Access the assembled database (benchmarks, tests).
+    pub fn database_mut(&mut self) -> Option<&mut Database> {
+        self.db.as_mut()
+    }
+
+    /// Access the assembled database immutably.
+    pub fn database(&self) -> Option<&Database> {
+        self.db.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patients_db() -> GhostDb {
+        let mut db = GhostDb::new(GhostDbConfig {
+            capture_channel: true,
+            ..Default::default()
+        });
+        db.execute(
+            "CREATE TABLE Doctors (id INT, specialty CHAR(20), name CHAR(20) HIDDEN)",
+        )
+        .unwrap();
+        db.execute(
+            "CREATE TABLE Patients (id INT, doctor_id INT HIDDEN REFERENCES Doctors, \
+             age INT(2), name CHAR(20) HIDDEN, bodymassindex FLOAT HIDDEN)",
+        )
+        .unwrap();
+        db.insert_rows(
+            "Doctors",
+            vec![
+                vec![Value::Str("Psychiatrist".into()), Value::Str("Freud".into())],
+                vec![Value::Str("Cardiologist".into()), Value::Str("Harvey".into())],
+            ],
+        )
+        .unwrap();
+        db.insert_rows(
+            "Patients",
+            (0..20)
+                .map(|i| {
+                    vec![
+                        Value::Int(i % 2),
+                        Value::Int(30 + i % 40),
+                        Value::Str(format!("patient{i:02}")),
+                        Value::Float(20.0 + (i % 15) as f64),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn ddl_load_query_roundtrip() {
+        let mut db = patients_db();
+        let rs = db
+            .query(
+                "SELECT Patients.id, Patients.name, Doctors.specialty FROM Patients, Doctors \
+                 WHERE Patients.doctor_id = Doctors.id AND Patients.bodymassindex > 25 \
+                 AND Doctors.specialty = 'Psychiatrist'",
+            )
+            .unwrap();
+        // Patients with doctor 0 (even ids) and bmi > 25 (i % 15 > 5).
+        let expect: Vec<i64> = (0..20)
+            .filter(|i| i % 2 == 0 && (i % 15) > 5)
+            .collect();
+        assert_eq!(rs.rows.len(), expect.len());
+        for (row, want_id) in rs.rows.iter().zip(expect) {
+            assert_eq!(row[0], Value::Int(want_id));
+            assert_eq!(row[2], Value::Str("Psychiatrist".into()));
+        }
+        assert!(db.audit().unwrap().ok);
+    }
+
+    #[test]
+    fn star_projection() {
+        let mut db = patients_db();
+        let rs = db
+            .query("SELECT * FROM Doctors WHERE Doctors.specialty = 'Cardiologist'")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 10, "one row per root (Patients) tuple");
+        assert!(rs.columns.contains(&"Doctors.name".to_string()));
+    }
+
+    #[test]
+    fn invalid_join_rejected() {
+        let mut db = patients_db();
+        let err = db
+            .query(
+                "SELECT Patients.id FROM Patients, Doctors WHERE Patients.age = Doctors.id",
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Semantic(_)));
+    }
+
+    #[test]
+    fn visible_fk_rejected() {
+        let mut db = GhostDb::new(GhostDbConfig::default());
+        db.execute("CREATE TABLE A (id INT, x CHAR(4))").unwrap();
+        let err = db
+            .execute("CREATE TABLE B (id INT, a_id INT REFERENCES A)")
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Semantic(_)));
+    }
+
+    #[test]
+    fn explain_names_strategies() {
+        let mut db = patients_db();
+        let plan = db
+            .explain(
+                "SELECT Patients.id FROM Patients, Doctors \
+                 WHERE Doctors.specialty = 'Psychiatrist' AND Patients.bodymassindex > 30",
+            )
+            .unwrap();
+        assert!(plan.contains("hidden selection on Patients.bodymassindex"));
+        assert!(plan.contains("visible selection on Doctors"));
+    }
+
+    #[test]
+    fn schema_freezes_after_load() {
+        let mut db = patients_db();
+        db.finalize().unwrap();
+        assert!(db.execute("CREATE TABLE X (id INT, a INT)").is_err());
+        assert!(db.insert_rows("Doctors", vec![]).is_err());
+    }
+
+    #[test]
+    fn non_injective_hidden_keys_get_rechecked() {
+        // Doctor names are long strings with a shared prefix: order keys
+        // collide, forcing the exact re-check path — results must still be
+        // exact.
+        let mut db = GhostDb::new(GhostDbConfig::default());
+        db.execute("CREATE TABLE D (id INT, name CHAR(30) HIDDEN)").unwrap();
+        db.execute(
+            "CREATE TABLE M (id INT, d_id INT HIDDEN REFERENCES D, v CHAR(8))",
+        )
+        .unwrap();
+        db.insert_rows(
+            "D",
+            (0..10)
+                .map(|i| vec![Value::Str(format!("Doctor Longname {i}"))])
+                .collect(),
+        )
+        .unwrap();
+        db.insert_rows(
+            "M",
+            (0..50)
+                .map(|i| vec![Value::Int(i % 10), Value::Str(format!("{i:04}"))])
+                .collect(),
+        )
+        .unwrap();
+        let rs = db
+            .query("SELECT M.id FROM M, D WHERE M.d_id = D.id AND D.name = 'Doctor Longname 3'")
+            .unwrap();
+        let expect: Vec<i64> = (0..50).filter(|i| i % 10 == 3).collect();
+        assert_eq!(
+            rs.rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
+            expect.into_iter().map(Value::Int).collect::<Vec<_>>()
+        );
+    }
+}

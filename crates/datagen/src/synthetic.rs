@@ -1,0 +1,247 @@
+//! The synthetic dataset of §6.2, with exact-selectivity attributes.
+
+use crate::pad8;
+use crate::spec::SyntheticSpec;
+use ghostdb_exec::database::{ColumnLoad, Database, TableLoad};
+use ghostdb_exec::Result;
+use ghostdb_reference::{RefDb, RefTable};
+use ghostdb_storage::schema::paper_synthetic_schema;
+use ghostdb_storage::{CmpOp, Id, Predicate, SchemaTree, TableId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Table names in schema declaration order.
+pub const TABLES: [&str; 5] = ["T0", "T1", "T2", "T11", "T12"];
+
+/// A fully deterministic synthetic dataset: per-column value permutations
+/// plus uniform foreign keys, kept host-side so both the GhostDB load and
+/// the reference oracle derive from the same bits.
+pub struct SyntheticDataset {
+    /// The generating spec.
+    pub spec: SyntheticSpec,
+    /// The schema (5 visible + 5 hidden attrs declared; the spec decides
+    /// how many are actually populated).
+    pub schema: SchemaTree,
+    rows: Vec<u64>,
+    /// `perms[(table, col)][row]` = value ordinal (a permutation of 0..rows).
+    perms: HashMap<(TableId, String), Rc<Vec<u32>>>,
+    /// Foreign keys per (table, fk column).
+    fks: HashMap<(TableId, String), Rc<Vec<Id>>>,
+}
+
+impl SyntheticDataset {
+    /// Generate the dataset (host side; deterministic in the spec).
+    pub fn generate(spec: SyntheticSpec) -> Self {
+        // The schema always declares the paper's 5+5 attributes so size
+        // models and the SQL surface match the paper; only the first
+        // `spec.*_attrs` columns are populated with data (columnar storage
+        // makes unpopulated columns free).
+        let schema = paper_synthetic_schema(5, 5);
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        let cards = spec.cardinalities();
+        let mut rows = vec![0u64; schema.len()];
+        for (name, c) in TABLES.iter().zip(cards) {
+            rows[schema.table_id(name).expect("paper schema")] = c;
+        }
+        let mut perms = HashMap::new();
+        for (ti, name) in TABLES.iter().enumerate() {
+            let t = schema.table_id(name).expect("paper schema");
+            let n = cards[ti];
+            for v in 1..=spec.visible_attrs {
+                perms.insert((t, format!("v{v}")), Rc::new(permutation(n, &mut rng)));
+            }
+            for h in 1..=spec.hidden_attrs {
+                perms.insert((t, format!("h{h}")), Rc::new(permutation(n, &mut rng)));
+            }
+        }
+        let mut fks = HashMap::new();
+        let edges = [
+            ("T0", "fk1", "T1"),
+            ("T0", "fk2", "T2"),
+            ("T1", "fk11", "T11"),
+            ("T1", "fk12", "T12"),
+        ];
+        for (parent, col, child) in edges {
+            let p = schema.table_id(parent).expect("schema");
+            let c = schema.table_id(child).expect("schema");
+            let n_child = rows[c];
+            let arr: Vec<Id> = (0..rows[p])
+                .map(|_| rng.gen_range(0..n_child) as Id)
+                .collect();
+            fks.insert((p, col.to_string()), Rc::new(arr));
+        }
+        SyntheticDataset {
+            spec,
+            schema,
+            rows,
+            perms,
+            fks,
+        }
+    }
+
+    /// Cardinality of a table.
+    pub fn rows(&self, name: &str) -> u64 {
+        self.rows[self.schema.table_id(name).expect("table")]
+    }
+
+    /// Build the GhostDB database (loads the token + PC).
+    pub fn build(&self) -> Result<Database> {
+        let mut loads = Vec::new();
+        for name in TABLES {
+            let t = self.schema.table_id(name)?;
+            let mut columns = Vec::new();
+            for v in 1..=self.spec.visible_attrs {
+                let cname = format!("v{v}");
+                let perm = self.perms[&(t, cname.clone())].clone();
+                columns.push(ColumnLoad {
+                    name: cname,
+                    gen: Box::new(move |r| pad8(perm[r as usize] as u64)),
+                    index: false,
+                    exact: Some(true),
+                });
+            }
+            for h in 1..=self.spec.hidden_attrs {
+                let cname = format!("h{h}");
+                let perm = self.perms[&(t, cname.clone())].clone();
+                let index = self
+                    .spec
+                    .indexed
+                    .iter()
+                    .any(|(tn, cn)| tn == name && *cn == cname);
+                columns.push(ColumnLoad {
+                    name: cname,
+                    gen: Box::new(move |r| pad8(perm[r as usize] as u64)),
+                    index,
+                    exact: Some(true),
+                });
+            }
+            let fks = self
+                .fks
+                .iter()
+                .filter(|((tt, _), _)| *tt == t)
+                .map(|((_, col), arr)| (col.clone(), arr.as_ref().clone()))
+                .collect();
+            loads.push(TableLoad {
+                table: name.to_string(),
+                rows: self.rows[t],
+                fks,
+                columns,
+            });
+        }
+        Database::assemble(self.schema.clone(), &self.spec.token_config(), loads)
+    }
+
+    /// Mirror into the trusted reference oracle (small scales only: the
+    /// oracle materialises every value).
+    pub fn ref_db(&self) -> RefDb {
+        let mut tables = vec![RefTable::default(); self.schema.len()];
+        for name in TABLES {
+            let t = self.schema.table_id(name).expect("table");
+            let n = self.rows[t];
+            let mut table = RefTable {
+                rows: n,
+                ..Default::default()
+            };
+            for ((tt, col), perm) in &self.perms {
+                if *tt == t {
+                    table.columns.insert(
+                        col.clone(),
+                        (0..n).map(|r| pad8(perm[r as usize] as u64)).collect(),
+                    );
+                }
+            }
+            for ((tt, col), arr) in &self.fks {
+                if *tt == t {
+                    table.fks.insert(col.clone(), arr.as_ref().clone());
+                }
+            }
+            tables[t] = table;
+        }
+        RefDb {
+            schema: self.schema.clone(),
+            tables,
+        }
+    }
+
+    /// A predicate on `(table, column)` selecting **exactly**
+    /// `⌈selectivity × rows⌉` rows (values are permutations of `0..rows`).
+    pub fn selectivity_pred(&self, table: &str, column: &str, selectivity: f64) -> Predicate {
+        let t = self.schema.table_id(table).expect("table");
+        let n = self.rows[t];
+        let k = ((selectivity * n as f64).round() as u64).clamp(0, n);
+        Predicate::new(column, CmpOp::Lt, pad8(k), None)
+    }
+}
+
+/// A seeded random permutation of `0..n`.
+fn permutation(n: u64, rng: &mut SmallRng) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..n as u32).collect();
+    v.shuffle(rng);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = SyntheticDataset::generate(SyntheticSpec::small());
+        let b = SyntheticDataset::generate(SyntheticSpec::small());
+        let t0 = a.schema.table_id("T0").unwrap();
+        assert_eq!(
+            a.perms[&(t0, "v1".to_string())],
+            b.perms[&(t0, "v1".to_string())]
+        );
+        assert_eq!(
+            a.fks[&(t0, "fk1".to_string())],
+            b.fks[&(t0, "fk1".to_string())]
+        );
+    }
+
+    #[test]
+    fn selectivity_is_exact() {
+        let ds = SyntheticDataset::generate(SyntheticSpec::small());
+        let db_ref = ds.ref_db();
+        let t1 = ds.schema.table_id("T1").unwrap();
+        for sv in [0.01f64, 0.1, 0.5] {
+            let pred = ds.selectivity_pred("T1", "v1", sv);
+            let n = ds.rows("T1");
+            let matching = db_ref.tables[t1].columns["v1"]
+                .iter()
+                .filter(|v| pred.matches(v))
+                .count() as u64;
+            assert_eq!(matching, (sv * n as f64).round() as u64, "sv={sv}");
+        }
+    }
+
+    #[test]
+    fn build_and_query_roundtrip() {
+        let ds = SyntheticDataset::generate(SyntheticSpec::small());
+        let mut db = ds.build().unwrap();
+        assert_eq!(db.rows[db.schema.root()], 2000);
+        // The built database answers a simple query identically to the
+        // oracle.
+        let t0 = db.schema.root();
+        let t12 = db.schema.table_id("T12").unwrap();
+        let pred = ds.selectivity_pred("T12", "h2", 0.25);
+        let mut q = ghostdb_exec::SpjQuery::new()
+            .pred(t12, pred.clone())
+            .project(t0, "id");
+        q.text = "test".into();
+        let (rs, _) =
+            ghostdb_exec::Executor::run(&mut db, &q, &ghostdb_exec::ExecOptions::auto()).unwrap();
+        let expect = ds
+            .ref_db()
+            .run(&ghostdb_reference::RefQuery {
+                predicates: vec![(t12, pred)],
+                projections: vec![(t0, "id".into())],
+            })
+            .unwrap();
+        assert_eq!(rs.rows, expect);
+        assert!(!rs.rows.is_empty());
+    }
+}

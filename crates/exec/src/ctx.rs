@@ -1,0 +1,149 @@
+//! Execution context: borrowed device resources + cost attribution + temp
+//! segment lifecycle.
+
+use crate::database::Database;
+use crate::error::ExecError;
+use crate::report::{split_rw, ExecReport, OpKind};
+use crate::Result;
+use ghostdb_flash::{FlashDevice, Segment, SegmentAllocator};
+use ghostdb_index::{ClimbingIndex, SubtreeKeyTable};
+use ghostdb_storage::{HiddenImage, SchemaTree, TableId};
+use ghostdb_token::{RamArena, SecureToken};
+use ghostdb_untrusted::UntrustedHost;
+use std::collections::HashMap;
+
+/// Mutable execution state threaded through every operator.
+pub struct ExecCtx<'a> {
+    /// Schema (catalog lifetime: references escape accessor calls).
+    pub schema: &'a SchemaTree,
+    /// Cardinalities.
+    pub rows: &'a [u64],
+    /// Hidden images per table.
+    pub hidden: &'a [HiddenImage],
+    /// SKTs per table.
+    pub skts: &'a [Option<SubtreeKeyTable>],
+    /// Climbing indexes.
+    pub cis: &'a HashMap<(TableId, String), ClimbingIndex>,
+    /// The secure token (flash + RAM + channel).
+    pub token: &'a mut SecureToken,
+    /// Logical-space allocator for temporaries.
+    pub alloc: &'a mut SegmentAllocator,
+    /// The untrusted PC.
+    pub untrusted: &'a UntrustedHost,
+    /// Accumulating report.
+    pub report: ExecReport,
+    temps: Vec<Segment>,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Build a context over a database.
+    pub fn new(db: &'a mut Database) -> Self {
+        ExecCtx {
+            schema: &db.schema,
+            rows: &db.rows,
+            hidden: &db.hidden,
+            skts: &db.skts,
+            cis: &db.cis,
+            token: &mut db.token,
+            alloc: &mut db.alloc,
+            untrusted: &db.untrusted,
+            report: ExecReport::new(),
+            temps: Vec::new(),
+        }
+    }
+
+    /// The flash device.
+    pub fn dev(&mut self) -> &mut FlashDevice {
+        &mut self.token.flash
+    }
+
+    /// The RAM arena (cheap clone of the shared handle).
+    pub fn ram(&self) -> RamArena {
+        self.token.ram.clone()
+    }
+
+    /// Flash page size.
+    pub fn page_size(&self) -> usize {
+        self.token.flash.page_size()
+    }
+
+    /// The primary-key climbing index of a table.
+    pub fn pk_index(&self, t: TableId) -> Result<&'a ClimbingIndex> {
+        self.cis.get(&(t, "id".to_string())).ok_or_else(|| {
+            ExecError::MissingIndex {
+                table: self.schema.def(t).name.clone(),
+                column: "id".into(),
+            }
+        })
+    }
+
+    /// The climbing index on an attribute.
+    pub fn attr_index(&self, t: TableId, column: &str) -> Result<&'a ClimbingIndex> {
+        self.cis.get(&(t, column.to_string())).ok_or_else(|| {
+            ExecError::MissingIndex {
+                table: self.schema.def(t).name.clone(),
+                column: column.into(),
+            }
+        })
+    }
+
+    /// The SKT of a table.
+    pub fn skt(&self, t: TableId) -> Result<&'a SubtreeKeyTable> {
+        self.skts[t].as_ref().ok_or_else(|| {
+            ExecError::Query(format!("no SKT on table {}", self.schema.def(t).name))
+        })
+    }
+
+    /// Run `f` attributing all flash time it causes to `op`.
+    pub fn track<T>(
+        &mut self,
+        op: OpKind,
+        f: impl FnOnce(&mut Self) -> Result<T>,
+    ) -> Result<T> {
+        let snap = self.token.flash.snapshot();
+        let out = f(self);
+        let d = self.token.flash.elapsed_since(&snap);
+        self.report.add(op, d);
+        out
+    }
+
+    /// Run `f` splitting its flash time: read-side to `read_op`, write-side
+    /// to `write_op` (e.g. SJoin scan vs Store materialisation).
+    pub fn track_rw<T>(
+        &mut self,
+        read_op: OpKind,
+        write_op: OpKind,
+        f: impl FnOnce(&mut Self) -> Result<T>,
+    ) -> Result<T> {
+        let snap = self.token.flash.snapshot();
+        let out = f(self);
+        let d = self.token.flash.stats_since(&snap);
+        let timing = *self.token.flash.timing();
+        let (r, w) = split_rw(&d, &timing, self.page_size());
+        self.report.add(read_op, r);
+        self.report.add(write_op, w);
+        out
+    }
+
+    /// Register a temp segment to free when the query finishes.
+    pub fn add_temp(&mut self, seg: Segment) {
+        self.temps.push(seg);
+    }
+
+    /// Free all temps (called by the executor at the end of the query).
+    /// Trimming is metadata-only so it does not perturb measured time.
+    pub fn free_temps(&mut self) -> Result<()> {
+        for seg in self.temps.drain(..) {
+            self.alloc.free(seg, &mut self.token.flash)?;
+        }
+        Ok(())
+    }
+
+    /// Finalise the report with channel and RAM observations.
+    pub fn finish_report(&mut self, flash_snap_at_start: &ghostdb_flash::FlashSnapshot) {
+        self.report.comm = self.token.channel.elapsed();
+        self.report.bytes_to_secure = self.token.channel.bytes_to_secure();
+        self.report.io = self.token.flash.stats_since(flash_snap_at_start);
+        self.report.peak_ram_buffers = self.token.ram.peak();
+    }
+}

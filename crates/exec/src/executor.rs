@@ -1,0 +1,105 @@
+//! The executor: assembles the Figure 6 global QEP and runs it.
+
+use crate::ctx::ExecCtx;
+use crate::database::Database;
+use crate::optimizer;
+use crate::project::{self, ProjectAlgo};
+use crate::query::{analyze, SpjQuery};
+use crate::report::ExecReport;
+use crate::result::ResultSet;
+use crate::strategy::{execute_sj, VisDecision};
+use crate::Result;
+use ghostdb_storage::TableId;
+
+/// Execution options.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Per-table pinned decisions (Mixed plans, §3.3); unlisted tables fall
+    /// to `forced_strategy` or the optimizer.
+    pub strategies: Vec<VisDecision>,
+    /// Apply one strategy to every visible selection (the figures sweep a
+    /// single visible predicate).
+    pub forced_strategy: Option<crate::strategy::VisStrategy>,
+    /// Projection algorithm (default: the full Project algorithm).
+    pub project: Option<ProjectAlgo>,
+}
+
+impl ExecOptions {
+    /// Fully automatic execution.
+    pub fn auto() -> Self {
+        ExecOptions::default()
+    }
+
+    /// Force one strategy for every visible selection.
+    pub fn with_strategy(strategy: crate::strategy::VisStrategy) -> Self {
+        ExecOptions {
+            forced_strategy: Some(strategy),
+            ..Default::default()
+        }
+    }
+
+    /// Projection algorithm override.
+    pub fn with_project(mut self, algo: ProjectAlgo) -> Self {
+        self.project = Some(algo);
+        self
+    }
+}
+
+/// The query executor.
+pub struct Executor;
+
+impl Executor {
+    /// Run a query and return its result with the execution report.
+    pub fn run(
+        db: &mut Database,
+        q: &SpjQuery,
+        opts: &ExecOptions,
+    ) -> Result<(ResultSet, ExecReport)> {
+        db.begin_query();
+        let a = analyze(&db.schema, q)?;
+        let mut ctx = ExecCtx::new(db);
+        let flash_snap = ctx.token.flash.snapshot();
+
+        // The query travels to the token in the clear (it is the one thing
+        // an observer legitimately learns), and the token acknowledges.
+        ctx.untrusted
+            .submit_query(&mut ctx.token.channel, &q.text);
+        ctx.token.channel.send_to_untrusted("query-ack", &[1]);
+
+        // Strategy decisions: pinned tables first, optimizer for the rest.
+        let auto = optimizer::decide(&ctx, &a)?;
+        let mut decisions: Vec<VisDecision> = Vec::new();
+        for d in &auto {
+            let pinned = opts.strategies.iter().find(|p| p.table == d.table);
+            let mut chosen = pinned.copied().unwrap_or(*d);
+            if let Some(forced) = opts.forced_strategy {
+                chosen.strategy = forced;
+            }
+            if pinned.is_some() {
+                chosen.strategy = pinned.expect("checked").strategy;
+            }
+            decisions.push(chosen);
+        }
+
+        let proj_tables: Vec<TableId> = a
+            .projections
+            .iter()
+            .map(|(t, _)| *t)
+            .filter(|t| *t != db_root(&ctx))
+            .collect();
+
+        let sj = execute_sj(&mut ctx, &a, &decisions, &proj_tables)?;
+        let algo = opts.project.unwrap_or(ProjectAlgo::Project);
+        let result = project::execute(&mut ctx, &a, sj, algo)?;
+
+        ctx.report.result_rows = result.rows.len() as u64;
+        ctx.free_temps()?;
+        ctx.finish_report(&flash_snap);
+        let report = ctx.report.clone();
+        Ok((result, report))
+    }
+}
+
+fn db_root(ctx: &ExecCtx<'_>) -> TableId {
+    ctx.schema.root()
+}

@@ -1,0 +1,165 @@
+//! The `Merge` operator (paper §3.3–§3.4).
+//!
+//! `Merge(∩i{∪j{idT}↓})` evaluates a conjunctive expression over sorted ID
+//! (sub)lists by a single synchronized scan — **provided the RAM can hold
+//! one buffer per open sublist plus one output buffer**. When climbing-index
+//! lookups deliver more sublists than buffers (range predicates, `∈`-probes
+//! from visible selections), a **reduction phase** first unions the
+//! *smallest* sublists of a group into materialised temporaries until the
+//! remainder fits — the paper's "alternative 1", whose linear cost makes the
+//! smallest sublists the best candidates.
+
+use crate::ctx::ExecCtx;
+use crate::error::ExecError;
+use crate::report::OpKind;
+use crate::source::{IdSource, IntersectStream, SourceReader, UnionStream};
+use crate::Result;
+use ghostdb_storage::{Id, IdList, IdListWriter};
+use ghostdb_token::TokenError;
+
+/// An opened, RAM-fitting merge: an intersection of per-group unions, plus
+/// the temp segments produced by reduction (freed when the query ends).
+pub struct MergeStream {
+    intersect: IntersectStream,
+}
+
+impl MergeStream {
+    /// Pull the next ID, attributing its I/O to `Merge`.
+    pub fn next(&mut self, ctx: &mut ExecCtx<'_>) -> Result<Option<Id>> {
+        let snap = ctx.token.flash.snapshot();
+        let out = self.intersect.next(&mut ctx.token.flash);
+        let d = ctx.token.flash.elapsed_since(&snap);
+        ctx.report.add(OpKind::Merge, d);
+        out
+    }
+}
+
+/// Total RAM buffers the final merge pass would need for these groups.
+fn flash_sources(groups: &[Vec<IdSource>]) -> usize {
+    groups
+        .iter()
+        .flat_map(|g| g.iter())
+        .map(|s| s.buffers_needed())
+        .sum()
+}
+
+/// Reduction phase: union the smallest flash sublists of oversized groups
+/// into single temp lists until one buffer per remaining sublist fits in
+/// `available - reserve` buffers. Reduction I/O (reads *and* temp writes)
+/// is Merge cost, matching the paper's accounting of its multi-pass nature.
+fn reduce(
+    ctx: &mut ExecCtx<'_>,
+    groups: &mut [Vec<IdSource>],
+    reserve: usize,
+) -> Result<()> {
+    loop {
+        let avail = ctx.ram().available().saturating_sub(reserve);
+        if flash_sources(groups) <= avail {
+            return Ok(());
+        }
+        // At least two readers + one writer are needed to make progress.
+        if avail < 2 || ctx.ram().available() < 3 {
+            return Err(ExecError::Token(TokenError::OutOfRam {
+                requested: 3,
+                available: ctx.ram().available(),
+                capacity: ctx.ram().capacity(),
+            }));
+        }
+        // Group with the most flash sublists is reduced first.
+        let gi = (0..groups.len())
+            .max_by_key(|i| groups[*i].iter().map(|s| s.buffers_needed()).sum::<usize>())
+            .expect("non-empty groups");
+        // Partition: flash sublists (candidates) vs free sources.
+        let group = std::mem::take(&mut groups[gi]);
+        let (mut flash, other): (Vec<IdSource>, Vec<IdSource>) =
+            group.into_iter().partition(|s| s.buffers_needed() > 0);
+        // Smallest-first; merge as many as the arena allows at once
+        // (readers k + 1 writer ≤ available).
+        flash.sort_by_key(|s| s.count());
+        let k = flash.len().min(ctx.ram().available() - 1);
+        let batch: Vec<IdSource> = flash.drain(..k).collect();
+        let merged = ctx.track(OpKind::Merge, |ctx| union_to_temp(ctx, &batch))?;
+        let mut rebuilt = other;
+        rebuilt.push(IdSource::Flash(merged));
+        rebuilt.extend(flash);
+        groups[gi] = rebuilt;
+    }
+}
+
+/// Union a batch of sources into a fresh temp list.
+fn union_to_temp(ctx: &mut ExecCtx<'_>, batch: &[IdSource]) -> Result<IdList> {
+    let max_ids: u64 = batch.iter().map(|s| s.count()).sum();
+    let page_size = ctx.page_size();
+    let ram = ctx.ram();
+    let mut writer = IdListWriter::create(ctx.alloc, &ram, max_ids, page_size)?;
+    ctx.add_temp(writer.segment());
+    let readers = batch
+        .iter()
+        .map(|s| SourceReader::open(s, &ram, page_size))
+        .collect::<Result<Vec<_>>>()?;
+    let mut union = UnionStream::new(readers);
+    while let Some(id) = union.next(&mut ctx.token.flash)? {
+        writer.push(&mut ctx.token.flash, id)?;
+    }
+    Ok(writer.finish(&mut ctx.token.flash)?)
+}
+
+/// Open a merge over CNF groups, reserving `reserve` RAM buffers for the
+/// downstream consumer (pipelining budget, §3.4). Runs the reduction phase
+/// if needed.
+pub fn open_merge(
+    ctx: &mut ExecCtx<'_>,
+    mut groups: Vec<Vec<IdSource>>,
+    reserve: usize,
+) -> Result<MergeStream> {
+    reduce(ctx, &mut groups, reserve)?;
+    let ram = ctx.ram();
+    let page_size = ctx.page_size();
+    let unions = groups
+        .iter()
+        .map(|g| UnionStream::open(g, &ram, page_size))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(MergeStream {
+        intersect: IntersectStream::new(unions),
+    })
+}
+
+/// Merge to a materialised sorted ID list on flash. Read side is Merge,
+/// output writes are Store.
+pub fn merge_to_list(ctx: &mut ExecCtx<'_>, groups: Vec<Vec<IdSource>>) -> Result<IdList> {
+    let max_ids: u64 = groups
+        .iter()
+        .map(|g| g.iter().map(|s| s.count()).sum::<u64>())
+        .min()
+        .unwrap_or(0);
+    // One output buffer reserved for the writer.
+    let mut stream = open_merge(ctx, groups, 1)?;
+    let page_size = ctx.page_size();
+    let ram = ctx.ram();
+    let mut writer = IdListWriter::create(ctx.alloc, &ram, max_ids, page_size)?;
+    ctx.add_temp(writer.segment());
+    loop {
+        let id = stream.next(ctx)?;
+        let Some(id) = id else { break };
+        let snap = ctx.token.flash.snapshot();
+        writer.push(&mut ctx.token.flash, id)?;
+        let d = ctx.token.flash.elapsed_since(&snap);
+        ctx.report.add(OpKind::Store, d);
+    }
+    let snap = ctx.token.flash.snapshot();
+    let list = writer.finish(&mut ctx.token.flash)?;
+    let d = ctx.token.flash.elapsed_since(&snap);
+    ctx.report.add(OpKind::Store, d);
+    Ok(list)
+}
+
+/// Merge straight into a host vector (used when the next consumer is a
+/// channel-style probe list; the result is small by construction).
+pub fn merge_to_vec(ctx: &mut ExecCtx<'_>, groups: Vec<Vec<IdSource>>) -> Result<Vec<Id>> {
+    let mut stream = open_merge(ctx, groups, 0)?;
+    let mut out = Vec::new();
+    while let Some(id) = stream.next(ctx)? {
+        out.push(id);
+    }
+    Ok(out)
+}

@@ -1,0 +1,56 @@
+//! Automatic strategy selection — the cost-based optimizer the paper lists
+//! as future work, distilled from its own measurements.
+//!
+//! The visible selectivity `sV` is exact and free: the PC computes it (its
+//! cycles are not the bottleneck and the count leaks nothing — the query is
+//! public). The decision rules come straight from the evaluation:
+//!
+//! * Cross-filtering applies whenever a hidden selection exists on the
+//!   table or its subtree, and "is beneficial whatever the selectivity"
+//!   (Figure 8) — so use it whenever applicable;
+//! * with Cross: Cross-Pre wins below sV ≈ 0.1, Cross-Post above
+//!   (Figure 9's crossover);
+//! * without Cross: Pre wins below sV ≈ 0.05 (Figure 10); Post is used
+//!   above only while the Bloom filter stays useful, otherwise the
+//!   selection is deferred to projection (the sV = 0.5 cutoff).
+
+use crate::ctx::ExecCtx;
+use crate::query::Analyzed;
+use crate::strategy::{VisDecision, VisStrategy};
+use crate::Result;
+use ghostdb_bloom::worth_post_filtering;
+
+/// Figure 9 crossover: Cross-Pre vs Cross-Post.
+pub const CROSS_PRE_POST_CUTOFF: f64 = 0.1;
+/// Figure 10 crossover: Pre vs Post.
+pub const PRE_POST_CUTOFF: f64 = 0.05;
+
+/// Decide a strategy for every table carrying visible predicates.
+pub fn decide(ctx: &ExecCtx<'_>, a: &Analyzed) -> Result<Vec<VisDecision>> {
+    let mut out = Vec::new();
+    for (t, preds) in &a.vis_preds {
+        let rows = ctx.rows[*t].max(1);
+        let matching = ctx.untrusted.store().count(*t, preds)?;
+        let sv = matching as f64 / rows as f64;
+        let cross_applicable =
+            *t != ctx.schema.root() && !a.hidden_in_subtree(ctx.schema, *t).is_empty();
+        let strategy = if cross_applicable {
+            if sv <= CROSS_PRE_POST_CUTOFF {
+                VisStrategy::CrossPre
+            } else {
+                VisStrategy::CrossPost
+            }
+        } else if sv <= PRE_POST_CUTOFF {
+            VisStrategy::Pre
+        } else if worth_post_filtering(matching, sv, ctx.ram().total_bytes() / 2) {
+            VisStrategy::Post
+        } else {
+            VisStrategy::NoFilter
+        };
+        out.push(VisDecision {
+            table: *t,
+            strategy,
+        });
+    }
+    Ok(out)
+}

@@ -1,0 +1,913 @@
+//! Projection: the Figure 5 `Project` algorithm (paper §4), its `NoBF`
+//! ablation and the `Brute-Force` baseline (Figures 12–13).
+//!
+//! Distinctive constraints (§4): the PC ships many values that will not
+//! survive the query (it must not learn which); post-filter strategies left
+//! Bloom false positives in the QEPSJ result; and RAM is still 64 KB. The
+//! algorithm therefore works **table by table**: partition the QEPSJ result
+//! into per-table ID columns, shrink the visible stream with a Bloom filter
+//! (`σVH`), build complete tuples in RAM-bounded `MJoin` passes, and let the
+//! final position-merge join drop every row a table failed to confirm —
+//! which simultaneously kills Bloom false positives and deferred visible
+//! selections, and runs the exact re-checks for non-injective index keys.
+
+use crate::ctx::ExecCtx;
+use crate::error::ExecError;
+use crate::query::{Analyzed, TableProjection};
+use crate::report::OpKind;
+use crate::sjoin::sjoin_stream;
+use crate::source::{IdSource, SourceReader};
+use crate::strategy::{RootIds, SjOutcome};
+use crate::result::ResultSet;
+use crate::Result;
+use ghostdb_bloom::calibrate;
+use ghostdb_bloom::BloomFilter;
+use ghostdb_storage::row::RowLayout;
+use ghostdb_storage::table::{ColumnScan, FlashTableWriter};
+use ghostdb_storage::{ColumnType, FlashTable, Id, IdListReader, Predicate, TableId, Value};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Which projection algorithm to run (Figures 12–13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProjectAlgo {
+    /// The full Figure 5 algorithm (Bloom-filtered σVH + MJoin).
+    Project,
+    /// Project without the Bloom optimisation: irrelevant visible values
+    /// are not pre-eliminated, inflating MJoin passes.
+    ProjectNoBf,
+    /// Load the QEPSJ result in RAM and random-access every attribute.
+    BruteForce,
+}
+
+impl ProjectAlgo {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProjectAlgo::Project => "Project",
+            ProjectAlgo::ProjectNoBf => "Project-NoBF",
+            ProjectAlgo::BruteForce => "Brute-Force",
+        }
+    }
+}
+
+/// A materialised per-table projection run: rows `<pos, idTi, values…>`
+/// sorted by `pos`.
+struct ProjTable {
+    table: FlashTable,
+    vis: Vec<(String, ColumnType)>,
+    hid: Vec<(String, ColumnType)>,
+}
+
+impl ProjTable {
+    fn layout(vis: &[(String, ColumnType)], hid: &[(String, ColumnType)]) -> RowLayout {
+        let mut widths = vec![4usize, 4usize]; // pos, idTi
+        widths.extend(vis.iter().map(|(_, ty)| ty.width()));
+        widths.extend(hid.iter().map(|(_, ty)| ty.width()));
+        RowLayout::new(&widths)
+    }
+
+    fn field_of(&self, name: &str) -> Option<(usize, ColumnType)> {
+        if let Some(i) = self.vis.iter().position(|(n, _)| n == name) {
+            return Some((2 + i, self.vis[i].1));
+        }
+        self.hid
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| (2 + self.vis.len() + i, self.hid[i].1))
+    }
+}
+
+/// Execute projection and deliver the final result set.
+pub fn execute(
+    ctx: &mut ExecCtx<'_>,
+    a: &Analyzed,
+    sj: SjOutcome,
+    algo: ProjectAlgo,
+) -> Result<ResultSet> {
+    let root = ctx.schema.root();
+
+    // Participation set: tables with projections, pending visible
+    // filtering, or exact re-checks.
+    let mut participants: Vec<TableId> = Vec::new();
+    for (t, _) in &a.projections {
+        if *t != root && !participants.contains(t) {
+            participants.push(*t);
+        }
+    }
+    for t in sj.approx_vis.iter().chain(&sj.deferred_vis) {
+        if *t != root && !participants.contains(t) {
+            participants.push(*t);
+        }
+    }
+    for (t, _) in &sj.recheck {
+        if *t != root && !participants.contains(t) {
+            participants.push(*t);
+        }
+    }
+
+    // Step 1: per-table ID columns in root order.
+    let (root_col, id_cols) = partition(ctx, &sj.root, &participants)?;
+
+    if algo == ProjectAlgo::BruteForce {
+        return brute_force(ctx, a, &sj, root_col, &participants, &id_cols);
+    }
+
+    // Steps 2–3 per participating table.
+    let empty = TableProjection::default();
+    let mut proj_tables: Vec<(TableId, ProjTable)> = Vec::new();
+    for (i, t) in participants.iter().enumerate() {
+        let tproj = a
+            .projections
+            .iter()
+            .find(|(tt, _)| tt == t)
+            .map(|(_, p)| p)
+            .unwrap_or(&empty);
+        let rechecks: Vec<&Predicate> = sj
+            .recheck
+            .iter()
+            .filter(|(tt, _)| tt == t)
+            .map(|(_, p)| p)
+            .collect();
+        let vis_preds = a.vis_preds_of(*t);
+        let has_vis_side = !vis_preds.is_empty() || !tproj.vis.is_empty();
+
+        // σVH: the visible ids filtered against this table's QEPSJ column.
+        let sigma: IdSource = if has_vis_side {
+            let shipment = ctx.untrusted.vis(
+                &mut ctx.token.channel,
+                *t,
+                &ctx.schema.def(*t).name,
+                vis_preds,
+                &[],
+            )?;
+            let vis_ids = Rc::new(shipment.ids);
+            match algo {
+                ProjectAlgo::Project => sigma_vh(ctx, &id_cols[i], &vis_ids)?,
+                _ => IdSource::Host(vis_ids),
+            }
+        } else {
+            IdSource::Range {
+                start: 0,
+                end: ctx.rows[*t] as Id,
+            }
+        };
+
+        // Visible values for MJoin (second shipment, values included).
+        let vis_values = if tproj.vis.is_empty() {
+            None
+        } else {
+            Some(ctx.untrusted.vis(
+                &mut ctx.token.channel,
+                *t,
+                &ctx.schema.def(*t).name,
+                vis_preds,
+                &tproj.vis,
+            )?)
+        };
+
+        let out = mjoin(
+            ctx,
+            *t,
+            tproj,
+            &rechecks,
+            &id_cols[i],
+            sigma,
+            vis_values.as_ref(),
+        )?;
+        proj_tables.push((*t, out));
+    }
+
+    // Step 4: the final position-merge join.
+    final_join(ctx, a, &sj, root_col, proj_tables)
+}
+
+/// Figure 5, line 1: vertically partition the QEPSJ result into one ID
+/// column per participating table (plus the root column), in root order.
+fn partition(
+    ctx: &mut ExecCtx<'_>,
+    root_ids: &RootIds,
+    tables: &[TableId],
+) -> Result<(FlashTable, Vec<FlashTable>)> {
+    let root = ctx.schema.root();
+    let layout = RowLayout::ids(1);
+    let ram = ctx.ram();
+    let page_size = ctx.page_size();
+    let upper = match root_ids {
+        RootIds::All => ctx.rows[root],
+        RootIds::List(l) => l.count,
+        RootIds::Table(t) => t.table.rows(),
+    };
+    let mut root_writer =
+        FlashTableWriter::create(ctx.alloc, &ram, layout.clone(), upper, page_size)?;
+    let mut writers: Vec<FlashTableWriter> = tables
+        .iter()
+        .map(|_| {
+            FlashTableWriter::create(ctx.alloc, &ram, layout.clone(), upper, page_size)
+                .map_err(crate::error::ExecError::from)
+        })
+        .collect::<Result<_>>()?;
+
+    match root_ids {
+        RootIds::Table(f) => {
+            // The SJoin already ran (footnote 7): one scan of F' splits it
+            // into columns. Attributed to Partition (part of Project).
+            let cols: Vec<usize> = tables
+                .iter()
+                .map(|t| f.col_of(*t).expect("planner included the column"))
+                .collect();
+            let mut reader = f.table.reader(&ram, page_size)?;
+            ctx.track_rw(OpKind::Partition, OpKind::Partition, |ctx| {
+                let mut cell = vec![0u8; 4];
+                loop {
+                    let Some(row) = reader.next_row(&mut ctx.token.flash)? else {
+                        break;
+                    };
+                    let row = row.to_vec();
+                    cell.copy_from_slice(&row[..4]);
+                    root_writer.push(&mut ctx.token.flash, &cell)?;
+                    for (w, c) in writers.iter_mut().zip(&cols) {
+                        cell.copy_from_slice(&row[c * 4..c * 4 + 4]);
+                        w.push(&mut ctx.token.flash, &cell)?;
+                    }
+                }
+                Ok(())
+            })?;
+        }
+        RootIds::List(list) => {
+            // SJoin from the root-id list (reads → SJoin, writes → Store:
+            // this is the SJoin whose cost dominates Figures 15–16 for
+            // pre-filter plans).
+            let mut feed = IdListReader::open(*list, &ram, page_size)?;
+            if tables.is_empty() {
+                ctx.track_rw(OpKind::SJoin, OpKind::Store, |ctx| {
+                    while let Some(id) = feed.next_id(&mut ctx.token.flash)? {
+                        root_writer.push(&mut ctx.token.flash, &id.to_le_bytes())?;
+                    }
+                    Ok(())
+                })?;
+            } else {
+                let skt = ctx.skt(root)?;
+                sjoin_stream(
+                    ctx,
+                    skt,
+                    tables,
+                    |ctx| {
+                        let snap = ctx.token.flash.snapshot();
+                        let id = feed.next_id(&mut ctx.token.flash)?;
+                        let d = ctx.token.flash.elapsed_since(&snap);
+                        ctx.report.add(OpKind::SJoin, d);
+                        Ok(id)
+                    },
+                    |ctx, id, targets| {
+                        let snap = ctx.token.flash.snapshot();
+                        root_writer.push(&mut ctx.token.flash, &id.to_le_bytes())?;
+                        for (w, tid) in writers.iter_mut().zip(targets) {
+                            w.push(&mut ctx.token.flash, &tid.to_le_bytes())?;
+                        }
+                        let d = ctx.token.flash.elapsed_since(&snap);
+                        ctx.report.add(OpKind::Store, d);
+                        Ok(())
+                    },
+                )?;
+            }
+        }
+        RootIds::All => {
+            let rows = ctx.rows[root];
+            if tables.is_empty() {
+                ctx.track_rw(OpKind::SJoin, OpKind::Store, |ctx| {
+                    for id in 0..rows {
+                        root_writer.push(&mut ctx.token.flash, &(id as Id).to_le_bytes())?;
+                    }
+                    Ok(())
+                })?;
+            } else {
+                let skt = ctx.skt(root)?;
+                let mut next = 0 as Id;
+                sjoin_stream(
+                    ctx,
+                    skt,
+                    tables,
+                    |_ctx| {
+                        if (next as u64) < rows {
+                            let v = next;
+                            next += 1;
+                            Ok(Some(v))
+                        } else {
+                            Ok(None)
+                        }
+                    },
+                    |ctx, id, targets| {
+                        let snap = ctx.token.flash.snapshot();
+                        root_writer.push(&mut ctx.token.flash, &id.to_le_bytes())?;
+                        for (w, tid) in writers.iter_mut().zip(targets) {
+                            w.push(&mut ctx.token.flash, &tid.to_le_bytes())?;
+                        }
+                        let d = ctx.token.flash.elapsed_since(&snap);
+                        ctx.report.add(OpKind::Store, d);
+                        Ok(())
+                    },
+                )?;
+            }
+        }
+    }
+
+    let root_col = root_writer.finish(&mut ctx.token.flash)?;
+    ctx.add_temp(root_col.segment());
+    let mut id_cols = Vec::with_capacity(writers.len());
+    for w in writers {
+        let t = w.finish(&mut ctx.token.flash)?;
+        ctx.add_temp(t.segment());
+        id_cols.push(t);
+    }
+    Ok((root_col, id_cols))
+}
+
+/// Figure 5, lines 3–4: Bloom over the table's QEPSJ id column, probed with
+/// the visible ids → σVH. "The Bloom filter is calibrated by default to
+/// occupy the entire RAM" (§5) minus the scan buffers.
+fn sigma_vh(ctx: &mut ExecCtx<'_>, id_col: &FlashTable, vis_ids: &Rc<Vec<Id>>) -> Result<IdSource> {
+    let n = id_col.rows();
+    let budget = ctx.ram().available().saturating_sub(3) * ctx.ram().buf_size();
+    let Some(cal) = calibrate(n, budget) else {
+        // Hopeless filter: fall back to the unfiltered visible ids.
+        return Ok(IdSource::Host(vis_ids.clone()));
+    };
+    let buffers = cal.bytes.div_ceil(ctx.ram().buf_size()).max(1);
+    let region = ctx.ram().alloc_region(buffers)?;
+    let mut bf = BloomFilter::new(region, cal.m_bits, cal.k);
+    let ram = ctx.ram();
+    let page_size = ctx.page_size();
+    let mut reader = id_col.reader(&ram, page_size)?;
+    ctx.track(OpKind::ProjBloom, |ctx| {
+        while let Some(row) = reader.next_row(&mut ctx.token.flash)? {
+            let id = u32::from_le_bytes(row[..4].try_into().expect("id cell"));
+            bf.insert(id as u64);
+        }
+        Ok(())
+    })?;
+    let filtered: Vec<Id> = vis_ids
+        .iter()
+        .copied()
+        .filter(|id| bf.contains(*id as u64))
+        .collect();
+    Ok(IdSource::Host(Rc::new(filtered)))
+}
+
+/// Figure 5, line 6: MJoin — merge visible values, hidden columns and σVH
+/// into complete tuples held in RAM (capacity minus the scan buffers), then
+/// sweep the table's id column once per RAM-load emitting `<pos, tuple>`.
+fn mjoin(
+    ctx: &mut ExecCtx<'_>,
+    t: TableId,
+    tproj: &TableProjection,
+    rechecks: &[&Predicate],
+    id_col: &FlashTable,
+    sigma: IdSource,
+    vis_values: Option<&ghostdb_untrusted::VisShipment>,
+) -> Result<ProjTable> {
+    let def = ctx.schema.def(t);
+    let vis: Vec<(String, ColumnType)> = tproj
+        .vis
+        .iter()
+        .map(|c| (c.clone(), def.column(c).expect("analyzed").ty))
+        .collect();
+    let hid: Vec<(String, ColumnType)> = tproj
+        .hid
+        .iter()
+        .map(|c| (c.clone(), def.column(c).expect("analyzed").ty))
+        .collect();
+    let layout = ProjTable::layout(&vis, &hid);
+    let entry_bytes = layout.size() - 4; // dict entries exclude pos
+
+    // Hidden column scans: projected hidden columns + re-check columns.
+    let image = &ctx.hidden[t];
+    let ram = ctx.ram();
+    let page_size = ctx.page_size();
+    let mut hid_scans: Vec<ColumnScan> = hid
+        .iter()
+        .map(|(name, _)| Ok(image.column(name)?.selective_scan(&ram, page_size)?))
+        .collect::<Result<_>>()?;
+    let mut recheck_scans: Vec<(ColumnScan, &Predicate)> = rechecks
+        .iter()
+        .map(|p| {
+            Ok((
+                image.column(&p.column)?.selective_scan(&ram, page_size)?,
+                *p,
+            ))
+        })
+        .collect::<Result<_>>()?;
+
+    // Dict capacity: RAM minus two buffers (§4) and the open scans.
+    let reserved = 2 + sigma.buffers_needed();
+    let avail = ctx.ram().available();
+    if avail <= reserved {
+        return Err(ExecError::Token(ghostdb_token::TokenError::OutOfRam {
+            requested: reserved + 1,
+            available: avail,
+            capacity: ctx.ram().capacity(),
+        }));
+    }
+    let dict_buffers = avail - reserved;
+    let dict_bytes = dict_buffers * ctx.ram().buf_size();
+    let dict_capacity = (dict_bytes / entry_bytes.max(1)).max(1);
+    let dict_region = ctx.ram().alloc_region(dict_buffers)?;
+
+    // Host map for value lookup of the visible shipment.
+    let vis_map: Option<HashMap<Id, usize>> = vis_values.map(|s| {
+        s.ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (*id, i))
+            .collect()
+    });
+
+    let mut sigma_reader = SourceReader::open(&sigma, &ram, page_size)?;
+    let mut runs: Vec<FlashTable> = Vec::new();
+    let mut exhausted = false;
+    while !exhausted {
+        // Fill the dict with the next RAM-load of σVH entries.
+        let mut dict: HashMap<Id, Vec<u8>> = HashMap::new();
+        ctx.track(OpKind::MJoin, |ctx| {
+            while dict.len() < dict_capacity {
+                let Some(id) = sigma_reader.next(&mut ctx.token.flash)? else {
+                    exhausted = true;
+                    break;
+                };
+                // Re-checks: exact hidden predicate evaluation.
+                let mut keep = true;
+                for (scan, pred) in recheck_scans.iter_mut() {
+                    let v = scan.value_at(&mut ctx.token.flash, id)?;
+                    if !pred.matches(&v) {
+                        keep = false;
+                    }
+                }
+                if !keep {
+                    continue;
+                }
+                let mut entry = vec![0u8; entry_bytes];
+                entry[..4].copy_from_slice(&id.to_le_bytes());
+                let mut at = 4usize;
+                if let (Some(map), Some(shipment)) = (&vis_map, vis_values) {
+                    let idx = match map.get(&id) {
+                        Some(i) => *i,
+                        None => continue, // not visible-selected
+                    };
+                    for (c, (_, ty)) in vis.iter().enumerate() {
+                        let w = ty.width();
+                        shipment.columns[c].1[idx].encode(ty, &mut entry[at..at + w])?;
+                        at += w;
+                    }
+                }
+                for (scan, (_, ty)) in hid_scans.iter_mut().zip(&hid) {
+                    let v = scan.value_at(&mut ctx.token.flash, id)?;
+                    let w = ty.width();
+                    v.encode(ty, &mut entry[at..at + w])?;
+                    at += w;
+                }
+                dict.insert(id, entry);
+            }
+            Ok(())
+        })?;
+        if dict.is_empty() {
+            if exhausted && !runs.is_empty() {
+                break;
+            }
+            if exhausted {
+                break;
+            }
+            continue;
+        }
+        // Sweep the id column, emitting <pos, entry> for dict hits.
+        let mut col_reader = id_col.reader(&ram, page_size)?;
+        let mut writer = FlashTableWriter::create(
+            ctx.alloc,
+            &ram,
+            layout.clone(),
+            id_col.rows(),
+            page_size,
+        )?;
+        ctx.track(OpKind::MJoin, |ctx| {
+            let mut pos = 0u32;
+            let mut row = vec![0u8; layout.size()];
+            while let Some(cell) = col_reader.next_row(&mut ctx.token.flash)? {
+                let id = u32::from_le_bytes(cell[..4].try_into().expect("id cell"));
+                if let Some(entry) = dict.get(&id) {
+                    row[..4].copy_from_slice(&pos.to_le_bytes());
+                    row[4..].copy_from_slice(entry);
+                    writer.push(&mut ctx.token.flash, &row)?;
+                }
+                pos += 1;
+            }
+            Ok(())
+        })?;
+        let run = writer.finish(&mut ctx.token.flash)?;
+        ctx.add_temp(run.segment());
+        runs.push(run);
+    }
+
+    // Release the MJoin working RAM before merging the per-pass runs: the
+    // run merge budgets its own buffers.
+    drop(dict_region);
+    drop(sigma_reader);
+    drop(hid_scans);
+    drop(recheck_scans);
+    let table = match runs.len() {
+        0 => {
+            let empty =
+                FlashTable::bulk_load_with(&mut ctx.token.flash, ctx.alloc, layout, 0, |_, _| {})?;
+            ctx.add_temp(empty.segment());
+            empty
+        }
+        1 => runs.into_iter().next().expect("one run"),
+        _ => merge_runs_by_pos(ctx, runs)?,
+    };
+    Ok(ProjTable { table, vis, hid })
+}
+
+/// K-way merge of MJoin runs by their `pos` field (field 0), batched so
+/// each merge level holds at most `available - 1` run readers.
+fn merge_runs_by_pos(ctx: &mut ExecCtx<'_>, mut runs: Vec<FlashTable>) -> Result<FlashTable> {
+    loop {
+        let fan_in = ctx.ram().available().saturating_sub(1).max(2);
+        if runs.len() <= fan_in {
+            return merge_runs_level(ctx, runs);
+        }
+        let batch: Vec<FlashTable> = runs.drain(..fan_in).collect();
+        let merged = merge_runs_level(ctx, batch)?;
+        runs.push(merged);
+    }
+}
+
+/// One merge level over at most `available - 1` runs.
+fn merge_runs_level(ctx: &mut ExecCtx<'_>, runs: Vec<FlashTable>) -> Result<FlashTable> {
+    let layout = runs[0].layout.clone();
+    let total: u64 = runs.iter().map(|r| r.rows()).sum();
+    let ram = ctx.ram();
+    let page_size = ctx.page_size();
+    let mut readers = runs
+        .iter()
+        .map(|r| r.reader(&ram, page_size).map_err(crate::error::ExecError::from))
+        .collect::<Result<Vec<_>>>()?;
+    let mut writer =
+        FlashTableWriter::create(ctx.alloc, &ram, layout.clone(), total, page_size)?;
+    ctx.track(OpKind::MJoin, |ctx| {
+        let mut heads: Vec<Option<Vec<u8>>> = Vec::new();
+        for r in readers.iter_mut() {
+            heads.push(r.next_row(&mut ctx.token.flash)?.map(|x| x.to_vec()));
+        }
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, h) in heads.iter().enumerate() {
+                if let Some(row) = h {
+                    let pos = layout.get_id(row, 0);
+                    let better = match best {
+                        None => true,
+                        Some(b) => pos < layout.get_id(heads[b].as_ref().expect("head"), 0),
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+            let Some(b) = best else { break };
+            let row = heads[b].take().expect("best");
+            writer.push(&mut ctx.token.flash, &row)?;
+            heads[b] = readers[b]
+                .next_row(&mut ctx.token.flash)?
+                .map(|x| x.to_vec());
+        }
+        Ok(())
+    })?;
+    let out = writer.finish(&mut ctx.token.flash)?;
+    ctx.add_temp(out.segment());
+    Ok(out)
+}
+
+/// Figure 5, line 7: merge every per-table projection stream (and the root
+/// streams) in position order; a row survives only if every participating
+/// table confirmed its position.
+fn final_join(
+    ctx: &mut ExecCtx<'_>,
+    a: &Analyzed,
+    sj: &SjOutcome,
+    root_col: FlashTable,
+    proj_tables: Vec<(TableId, ProjTable)>,
+) -> Result<ResultSet> {
+    let root = ctx.schema.root();
+    let ram = ctx.ram();
+    let page_size = ctx.page_size();
+
+    // Root-side needs.
+    let empty = TableProjection::default();
+    let root_proj = a
+        .projections
+        .iter()
+        .find(|(t, _)| *t == root)
+        .map(|(_, p)| p)
+        .unwrap_or(&empty);
+    let root_vis_preds = a.vis_preds_of(root);
+    let root_filter_pending = sj.approx_vis.contains(&root) || sj.deferred_vis.contains(&root);
+    let root_shipment = if !root_proj.vis.is_empty() || root_filter_pending {
+        Some(ctx.untrusted.vis(
+            &mut ctx.token.channel,
+            root,
+            &ctx.schema.def(root).name,
+            root_vis_preds,
+            &root_proj.vis,
+        )?)
+    } else {
+        None
+    };
+    let root_vis_map: Option<HashMap<Id, usize>> = root_shipment
+        .as_ref()
+        .map(|s| s.ids.iter().enumerate().map(|(i, id)| (*id, i)).collect());
+
+    let image = &ctx.hidden[root];
+    let mut root_hid_scans: Vec<(String, ColumnScan)> = root_proj
+        .hid
+        .iter()
+        .map(|c| Ok((c.clone(), image.column(c)?.selective_scan(&ram, page_size)?)))
+        .collect::<Result<_>>()?;
+    let mut root_recheck: Vec<(ColumnScan, &Predicate)> = sj
+        .recheck
+        .iter()
+        .filter(|(t, _)| *t == root)
+        .map(|(_, p)| Ok((image.column(&p.column)?.selective_scan(&ram, page_size)?, p)))
+        .collect::<Result<_>>()?;
+
+    let mut root_reader = root_col.reader(&ram, page_size)?;
+    let mut table_readers: Vec<(TableId, &ProjTable, ghostdb_storage::table::FlashTableReader)> =
+        Vec::new();
+    for (t, pt) in &proj_tables {
+        table_readers.push((*t, pt, pt.table.reader(&ram, page_size)?));
+    }
+
+    let columns: Vec<String> = a
+        .output
+        .iter()
+        .map(|(t, c)| format!("{}.{}", ctx.schema.def(*t).name, c))
+        .collect();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+
+    ctx.track(OpKind::FinalJoin, |ctx| {
+        let mut heads: Vec<Option<Vec<u8>>> = Vec::new();
+        for (_, _, r) in table_readers.iter_mut() {
+            heads.push(r.next_row(&mut ctx.token.flash)?.map(|x| x.to_vec()));
+        }
+        let mut pos = 0u32;
+        while let Some(cell) = root_reader.next_row(&mut ctx.token.flash)? {
+            let root_id = u32::from_le_bytes(cell[..4].try_into().expect("id cell"));
+            // Advance each table stream to `pos`.
+            let mut all_present = true;
+            let mut current: Vec<Option<Vec<u8>>> = vec![None; table_readers.len()];
+            for (i, (_, pt, r)) in table_readers.iter_mut().enumerate() {
+                loop {
+                    match &heads[i] {
+                        None => {
+                            all_present = false;
+                            break;
+                        }
+                        Some(row) => {
+                            let rpos = pt.table.layout.get_id(row, 0);
+                            if rpos < pos {
+                                heads[i] = r
+                                    .next_row(&mut ctx.token.flash)?
+                                    .map(|x| x.to_vec());
+                            } else if rpos == pos {
+                                current[i] = heads[i].clone();
+                                break;
+                            } else {
+                                all_present = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if !all_present {
+                    break;
+                }
+            }
+            // Root-side checks.
+            let mut keep = all_present;
+            if keep {
+                for (scan, pred) in root_recheck.iter_mut() {
+                    let v = scan.value_at(&mut ctx.token.flash, root_id)?;
+                    if !pred.matches(&v) {
+                        keep = false;
+                    }
+                }
+            }
+            let root_idx = match (&root_vis_map, keep) {
+                (Some(map), true) => {
+                    let idx = map.get(&root_id).copied();
+                    if root_filter_pending && idx.is_none() {
+                        keep = false;
+                    }
+                    idx
+                }
+                _ => None,
+            };
+            if keep {
+                let mut out_row = Vec::with_capacity(a.output.len());
+                for (t, cname) in &a.output {
+                    if *t == root {
+                        if cname == "id" {
+                            out_row.push(Value::Int(root_id as i64));
+                        } else if let Some(i) =
+                            root_proj.vis.iter().position(|c| c == cname)
+                        {
+                            let shipment = root_shipment.as_ref().expect("vis projected");
+                            let idx = root_idx.ok_or_else(|| {
+                                ExecError::Query(format!(
+                                    "root id {root_id} missing from visible shipment"
+                                ))
+                            })?;
+                            out_row.push(shipment.columns[i].1[idx].clone());
+                        } else {
+                            let (_, scan) = root_hid_scans
+                                .iter_mut()
+                                .find(|(n, _)| n == cname)
+                                .expect("analyzed hidden projection");
+                            out_row.push(scan.value_at(&mut ctx.token.flash, root_id)?);
+                        }
+                    } else {
+                        let i = table_readers
+                            .iter()
+                            .position(|(tt, _, _)| tt == t)
+                            .expect("participating table");
+                        let (_, pt, _) = &table_readers[i];
+                        let row = current[i].as_ref().expect("present");
+                        if cname == "id" {
+                            out_row.push(Value::Int(pt.table.layout.get_id(row, 1) as i64));
+                        } else {
+                            let (field, ty) =
+                                pt.field_of(cname).expect("analyzed projection");
+                            out_row.push(Value::decode(&ty, pt.table.layout.field(row, field)));
+                        }
+                    }
+                }
+                rows.push(out_row);
+            }
+            pos += 1;
+        }
+        Ok(())
+    })?;
+
+    Ok(ResultSet { columns, rows })
+}
+
+/// Figure 12's Brute-Force baseline: load the QEPSJ result into RAM chunk
+/// by chunk and random-access every projected attribute.
+fn brute_force(
+    ctx: &mut ExecCtx<'_>,
+    a: &Analyzed,
+    sj: &SjOutcome,
+    root_col: FlashTable,
+    participants: &[TableId],
+    id_cols: &[FlashTable],
+) -> Result<ResultSet> {
+    let root = ctx.schema.root();
+    let ram = ctx.ram();
+    let page_size = ctx.page_size();
+
+    // Ship ids+values for every table with a visible side (one shipment).
+    let empty = TableProjection::default();
+    let mut shipments: HashMap<TableId, (ghostdb_untrusted::VisShipment, HashMap<Id, usize>)> =
+        HashMap::new();
+    let mut all_tables: Vec<TableId> = participants.to_vec();
+    all_tables.push(root);
+    for t in &all_tables {
+        let tproj = a
+            .projections
+            .iter()
+            .find(|(tt, _)| tt == t)
+            .map(|(_, p)| p)
+            .unwrap_or(&empty);
+        let preds = a.vis_preds_of(*t);
+        let pending = sj.approx_vis.contains(t) || sj.deferred_vis.contains(t);
+        if !tproj.vis.is_empty() || (pending && !preds.is_empty()) {
+            let s = ctx.untrusted.vis(
+                &mut ctx.token.channel,
+                *t,
+                &ctx.schema.def(*t).name,
+                preds,
+                &tproj.vis,
+            )?;
+            let map = s.ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+            shipments.insert(*t, (s, map));
+        }
+    }
+
+    let mut root_reader = root_col.reader(&ram, page_size)?;
+    let mut col_readers = id_cols
+        .iter()
+        .map(|c| c.reader(&ram, page_size).map_err(crate::error::ExecError::from))
+        .collect::<Result<Vec<_>>>()?;
+
+    // RAM chunk for "loading the result of QEPSJ in RAM": everything left.
+    let chunk_buffers = ctx.ram().available();
+    let _region = if chunk_buffers > 0 {
+        Some(ctx.ram().alloc_region(chunk_buffers)?)
+    } else {
+        None
+    };
+
+    let columns: Vec<String> = a
+        .output
+        .iter()
+        .map(|(t, c)| format!("{}.{}", ctx.schema.def(*t).name, c))
+        .collect();
+    let mut rows = Vec::new();
+
+    ctx.track(OpKind::BruteForce, |ctx| {
+        loop {
+            let Some(cell) = root_reader.next_row(&mut ctx.token.flash)? else {
+                break;
+            };
+            let root_id = u32::from_le_bytes(cell[..4].try_into().expect("id"));
+            let mut ids: HashMap<TableId, Id> = HashMap::new();
+            ids.insert(root, root_id);
+            for (t, r) in participants.iter().zip(col_readers.iter_mut()) {
+                let cell = r
+                    .next_row(&mut ctx.token.flash)?
+                    .ok_or_else(|| ExecError::Query("column underrun".into()))?;
+                ids.insert(*t, u32::from_le_bytes(cell[..4].try_into().expect("id")));
+            }
+            // Filters: pending visible selections + exact re-checks, all by
+            // random access.
+            let mut keep = true;
+            for t in sj.approx_vis.iter().chain(&sj.deferred_vis) {
+                if let Some((_, map)) = shipments.get(t) {
+                    if !map.contains_key(&ids[t]) {
+                        keep = false;
+                    }
+                } else {
+                    // Pending filter but nothing shipped: predicate without
+                    // projections — evaluate via the untrusted store count.
+                    let preds = a.vis_preds_of(*t);
+                    let shipped = ctx.untrusted.vis(
+                        &mut ctx.token.channel,
+                        *t,
+                        &ctx.schema.def(*t).name,
+                        preds,
+                        &[],
+                    )?;
+                    let map: HashMap<Id, usize> =
+                        shipped.ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+                    if !map.contains_key(&ids[t]) {
+                        keep = false;
+                    }
+                    shipments.insert(*t, (shipped, map));
+                }
+            }
+            if keep {
+                for (t, pred) in &sj.recheck {
+                    let col = ctx.hidden[*t].column(&pred.column)?.clone();
+                    let v = col.get(&mut ctx.token.flash, ids[t])?;
+                    if !pred.matches(&v) {
+                        keep = false;
+                    }
+                }
+            }
+            if !keep {
+                continue;
+            }
+            let mut out_row = Vec::with_capacity(a.output.len());
+            for (t, cname) in &a.output {
+                let id = ids[t];
+                if cname == "id" {
+                    out_row.push(Value::Int(id as i64));
+                    continue;
+                }
+                let def = ctx.schema.def(*t);
+                let col = def.column(cname).expect("analyzed");
+                match col.visibility {
+                    ghostdb_storage::Visibility::Visible => {
+                        let (shipment, map) =
+                            shipments.get(t).expect("visible projection shipped");
+                        let idx = *map.get(&id).ok_or_else(|| {
+                            ExecError::Query(format!("id {id} missing from shipment"))
+                        })?;
+                        let c = shipment
+                            .columns
+                            .iter()
+                            .position(|(n, _)| n == cname)
+                            .expect("projected column shipped");
+                        out_row.push(shipment.columns[c].1[idx].clone());
+                    }
+                    ghostdb_storage::Visibility::Hidden => {
+                        // Random flash access — the whole point of the
+                        // baseline's cost.
+                        let hcol = ctx.hidden[*t].column(cname)?.clone();
+                        out_row.push(hcol.get(&mut ctx.token.flash, id)?);
+                    }
+                }
+            }
+            rows.push(out_row);
+        }
+        Ok(())
+    })?;
+
+    Ok(ResultSet { columns, rows })
+}

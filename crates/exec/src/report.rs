@@ -1,0 +1,225 @@
+//! Per-operator simulated-time attribution.
+//!
+//! Figures 8–14 plot total execution time; Figures 15–16 decompose it into
+//! the dominant operators (Merge, SJoin, Store, Project) excluding
+//! communication. The executor attributes every flash I/O to the operator
+//! that issued it, splitting read-side and write-side costs so that
+//! materialisation ("Store") is visible exactly as in the paper.
+
+use ghostdb_flash::{FlashStats, FlashTiming, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// The operators the executor attributes time to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Visible shipments (channel time lives in `comm`, flash time ~0).
+    Vis,
+    /// Climbing-index lookups (B+-tree descents + sublist descriptor reads).
+    Ci,
+    /// Sorted-list CNF evaluation, including reduction-phase I/O.
+    Merge,
+    /// Key semi-join reads against an SKT.
+    SJoin,
+    /// Materialisation writes of intermediate results.
+    Store,
+    /// Bloom build/probe during select-join processing.
+    Bloom,
+    /// Vertical partitioning of the QEPSJ result (Figure 5, line 1).
+    Partition,
+    /// Bloom build/probe during projection (Figure 5, lines 3–4).
+    ProjBloom,
+    /// The MJoin of Figure 5 (line 6), including its multi-pass I/O.
+    MJoin,
+    /// The final position-merge join (Figure 5, line 7).
+    FinalJoin,
+    /// The Brute-Force projection baseline of Figure 12.
+    BruteForce,
+}
+
+impl OpKind {
+    /// All kinds, for iteration.
+    pub const ALL: [OpKind; 11] = [
+        OpKind::Vis,
+        OpKind::Ci,
+        OpKind::Merge,
+        OpKind::SJoin,
+        OpKind::Store,
+        OpKind::Bloom,
+        OpKind::Partition,
+        OpKind::ProjBloom,
+        OpKind::MJoin,
+        OpKind::FinalJoin,
+        OpKind::BruteForce,
+    ];
+
+    fn idx(self) -> usize {
+        OpKind::ALL.iter().position(|k| *k == self).expect("known kind")
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Vis => "Vis",
+            OpKind::Ci => "CI",
+            OpKind::Merge => "Merge",
+            OpKind::SJoin => "SJoin",
+            OpKind::Store => "Store",
+            OpKind::Bloom => "Bloom",
+            OpKind::Partition => "Partition",
+            OpKind::ProjBloom => "ProjBloom",
+            OpKind::MJoin => "MJoin",
+            OpKind::FinalJoin => "FinalJoin",
+            OpKind::BruteForce => "BruteForce",
+        }
+    }
+}
+
+/// Execution report of one query.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExecReport {
+    op_ns: Vec<u128>,
+    /// Wire time (bytes / throughput).
+    pub comm: SimDuration,
+    /// Bytes shipped PC → token for this query.
+    pub bytes_to_secure: u64,
+    /// Rows in the final result.
+    pub result_rows: u64,
+    /// Aggregate I/O of the query.
+    pub io: FlashStats,
+    /// Peak concurrent RAM buffers observed (must never exceed the arena).
+    pub peak_ram_buffers: usize,
+}
+
+impl ExecReport {
+    /// Empty report.
+    pub fn new() -> Self {
+        ExecReport {
+            op_ns: vec![0; OpKind::ALL.len()],
+            ..Default::default()
+        }
+    }
+
+    /// Attribute simulated time to an operator.
+    pub fn add(&mut self, op: OpKind, d: SimDuration) {
+        if self.op_ns.is_empty() {
+            self.op_ns = vec![0; OpKind::ALL.len()];
+        }
+        self.op_ns[op.idx()] += d.as_ns();
+    }
+
+    /// Time attributed to an operator.
+    pub fn op(&self, op: OpKind) -> SimDuration {
+        SimDuration::from_ns(self.op_ns.get(op.idx()).copied().unwrap_or(0))
+    }
+
+    /// Total flash time (all operators, communication excluded) — the
+    /// quantity decomposed in Figures 15–16.
+    pub fn flash_total(&self) -> SimDuration {
+        SimDuration::from_ns(self.op_ns.iter().sum())
+    }
+
+    /// Total execution time including communication (Figures 8–14).
+    pub fn total(&self) -> SimDuration {
+        self.flash_total() + self.comm
+    }
+
+    /// The Figure 15/16 buckets: (Merge, SJoin, Store, Project).
+    /// "Project" covers the whole QEPP: partitioning, projection-time Bloom
+    /// filters, MJoin, the final join, and the Brute-Force baseline.
+    pub fn fig15_buckets(&self) -> [(&'static str, SimDuration); 4] {
+        let project = self.op(OpKind::Partition)
+            + self.op(OpKind::ProjBloom)
+            + self.op(OpKind::MJoin)
+            + self.op(OpKind::FinalJoin)
+            + self.op(OpKind::BruteForce);
+        [
+            ("Merge", self.op(OpKind::Merge) + self.op(OpKind::Ci) + self.op(OpKind::Bloom)),
+            ("Sjoin", self.op(OpKind::SJoin)),
+            ("Store", self.op(OpKind::Store)),
+            ("Project", project),
+        ]
+    }
+
+    /// Fold another report into this one (used by sweeps).
+    pub fn merge_from(&mut self, other: &ExecReport) {
+        if self.op_ns.is_empty() {
+            self.op_ns = vec![0; OpKind::ALL.len()];
+        }
+        for (a, b) in self.op_ns.iter_mut().zip(&other.op_ns) {
+            *a += b;
+        }
+        self.comm += other.comm;
+        self.bytes_to_secure += other.bytes_to_secure;
+        self.result_rows += other.result_rows;
+        self.peak_ram_buffers = self.peak_ram_buffers.max(other.peak_ram_buffers);
+    }
+}
+
+/// Split a flash-stats delta into its read-side and write-side simulated
+/// times, so an operator's scan cost and its output-materialisation cost
+/// can be attributed separately (SJoin vs Store in Figure 15).
+pub fn split_rw(d: &FlashStats, timing: &FlashTiming, page_size: usize) -> (SimDuration, SimDuration) {
+    let read_ns = d.pages_read as u128 * timing.read_page_us as u128 * 1_000
+        + d.bytes_to_ram as u128 * timing.transfer_ns_per_byte as u128
+        + d.gc_pages_read as u128 * timing.read_cost_ns(page_size);
+    let write_ns = d.pages_written as u128 * timing.program_page_us as u128 * 1_000
+        + d.bytes_from_ram as u128 * timing.transfer_ns_per_byte as u128
+        + d.gc_pages_written as u128 * timing.write_cost_ns(page_size)
+        + d.blocks_erased as u128 * timing.erase_cost_ns();
+    (SimDuration::from_ns(read_ns), SimDuration::from_ns(write_ns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_and_totals() {
+        let mut r = ExecReport::new();
+        r.add(OpKind::Merge, SimDuration::from_us(100));
+        r.add(OpKind::SJoin, SimDuration::from_us(50));
+        r.add(OpKind::Merge, SimDuration::from_us(10));
+        r.comm = SimDuration::from_us(5);
+        assert_eq!(r.op(OpKind::Merge), SimDuration::from_us(110));
+        assert_eq!(r.flash_total(), SimDuration::from_us(160));
+        assert_eq!(r.total(), SimDuration::from_us(165));
+    }
+
+    #[test]
+    fn buckets_cover_projection_ops() {
+        let mut r = ExecReport::new();
+        r.add(OpKind::MJoin, SimDuration::from_us(30));
+        r.add(OpKind::FinalJoin, SimDuration::from_us(20));
+        r.add(OpKind::Partition, SimDuration::from_us(10));
+        let buckets = r.fig15_buckets();
+        assert_eq!(buckets[3].0, "Project");
+        assert_eq!(buckets[3].1, SimDuration::from_us(60));
+    }
+
+    #[test]
+    fn split_rw_partitions_the_cost_model() {
+        let t = FlashTiming::default();
+        let d = FlashStats {
+            pages_read: 2,
+            pages_written: 1,
+            bytes_to_ram: 1000,
+            bytes_from_ram: 2048,
+            ..Default::default()
+        };
+        let (r, w) = split_rw(&d, &t, 2048);
+        assert_eq!(r + w, d.elapsed(&t, 2048));
+        assert_eq!(r.as_ns(), 2 * 25_000 + 1000 * 50);
+    }
+
+    #[test]
+    fn merge_from_accumulates() {
+        let mut a = ExecReport::new();
+        a.add(OpKind::Ci, SimDuration::from_us(1));
+        let mut b = ExecReport::new();
+        b.add(OpKind::Ci, SimDuration::from_us(2));
+        b.result_rows = 7;
+        a.merge_from(&b);
+        assert_eq!(a.op(OpKind::Ci), SimDuration::from_us(3));
+        assert_eq!(a.result_rows, 7);
+    }
+}

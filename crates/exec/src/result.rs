@@ -1,0 +1,75 @@
+//! Query results, rendered on the token's secure display.
+//!
+//! Result rows never traverse the channel in the clear: the paper's
+//! deployment renders them on the key's own screen, a trusted companion
+//! display, or a secured remote socket. In the simulator they are host
+//! values owned by the token side; the leak auditor checks the channel
+//! transcript stayed clean.
+
+use ghostdb_storage::Value;
+use std::fmt;
+
+/// A query result.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Qualified column names (`"T1.v1"`).
+    pub columns: Vec<String>,
+    /// Rows of decoded values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sort rows lexicographically (stable display/compare order for tests
+    /// and examples; GhostDB's natural order is root-id order).
+    pub fn sorted(mut self) -> Self {
+        self.rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b) {
+                match x.cmp_value(y) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self
+    }
+}
+
+impl fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        write!(f, "({} rows)", self.rows.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sort() {
+        let rs = ResultSet {
+            columns: vec!["T0.id".into()],
+            rows: vec![vec![Value::Int(2)], vec![Value::Int(1)]],
+        };
+        let sorted = rs.clone().sorted();
+        assert_eq!(sorted.rows[0], vec![Value::Int(1)]);
+        let text = format!("{rs}");
+        assert!(text.contains("T0.id"));
+        assert!(text.contains("(2 rows)"));
+    }
+}

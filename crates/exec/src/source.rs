@@ -1,0 +1,358 @@
+//! Sorted-ID sources and the k-way union/intersection machinery beneath the
+//! `Merge` operator.
+//!
+//! A source is a sorted ID stream coming from flash (a climbing-index
+//! sublist or a materialised temp list), from the channel (a `Vis`
+//! shipment, §3.4: streamed through the dedicated channel buffer at no RAM
+//! cost), or the dense range `0..n` (no selection on the table).
+
+use crate::Result;
+use ghostdb_flash::FlashDevice;
+use ghostdb_storage::{Id, IdList, IdListReader};
+use ghostdb_token::RamArena;
+use std::rc::Rc;
+
+/// A sorted stream of tuple IDs.
+#[derive(Debug, Clone)]
+pub enum IdSource {
+    /// A sorted run on flash (reading costs I/O and one RAM buffer).
+    Flash(IdList),
+    /// A host-resident sorted list (a `Vis` shipment already paid for on
+    /// the channel; zero flash and RAM cost to re-stream).
+    Host(Rc<Vec<Id>>),
+    /// The dense range `start..end` (no selection).
+    Range {
+        /// First id.
+        start: Id,
+        /// One past the last id.
+        end: Id,
+    },
+}
+
+impl IdSource {
+    /// Number of IDs in the source.
+    pub fn count(&self) -> u64 {
+        match self {
+            IdSource::Flash(l) => l.count,
+            IdSource::Host(v) => v.len() as u64,
+            IdSource::Range { start, end } => (*end - *start) as u64,
+        }
+    }
+
+    /// RAM buffers needed to open a reader.
+    pub fn buffers_needed(&self) -> usize {
+        match self {
+            IdSource::Flash(_) => 1,
+            _ => 0,
+        }
+    }
+}
+
+/// An open reader over an [`IdSource`].
+#[derive(Debug)]
+pub enum SourceReader {
+    /// Flash-backed reader.
+    Flash(IdListReader),
+    /// Host list cursor.
+    Host {
+        /// The list.
+        ids: Rc<Vec<Id>>,
+        /// Cursor.
+        pos: usize,
+    },
+    /// Range cursor.
+    Range {
+        /// Next id.
+        next: Id,
+        /// One past the last id.
+        end: Id,
+    },
+}
+
+impl SourceReader {
+    /// Open a reader (Flash sources take one RAM buffer).
+    pub fn open(source: &IdSource, ram: &RamArena, page_size: usize) -> Result<Self> {
+        Ok(match source {
+            IdSource::Flash(list) => SourceReader::Flash(IdListReader::open(*list, ram, page_size)?),
+            IdSource::Host(ids) => SourceReader::Host {
+                ids: ids.clone(),
+                pos: 0,
+            },
+            IdSource::Range { start, end } => SourceReader::Range {
+                next: *start,
+                end: *end,
+            },
+        })
+    }
+
+    /// Peek the next ID without consuming.
+    pub fn peek(&mut self, dev: &mut FlashDevice) -> Result<Option<Id>> {
+        Ok(match self {
+            SourceReader::Flash(r) => r.peek(dev)?,
+            SourceReader::Host { ids, pos } => ids.get(*pos).copied(),
+            SourceReader::Range { next, end } => (*next < *end).then_some(*next),
+        })
+    }
+
+    /// Consume and return the next ID.
+    pub fn next(&mut self, dev: &mut FlashDevice) -> Result<Option<Id>> {
+        Ok(match self {
+            SourceReader::Flash(r) => r.next_id(dev)?,
+            SourceReader::Host { ids, pos } => {
+                let v = ids.get(*pos).copied();
+                if v.is_some() {
+                    *pos += 1;
+                }
+                v
+            }
+            SourceReader::Range { next, end } => {
+                if *next < *end {
+                    let v = *next;
+                    *next += 1;
+                    Some(v)
+                } else {
+                    None
+                }
+            }
+        })
+    }
+}
+
+/// Ascending, duplicate-free union over a set of sorted readers.
+#[derive(Debug)]
+pub struct UnionStream {
+    readers: Vec<SourceReader>,
+}
+
+impl UnionStream {
+    /// Union over open readers.
+    pub fn new(readers: Vec<SourceReader>) -> Self {
+        UnionStream { readers }
+    }
+
+    /// Open readers for all sources of a group.
+    pub fn open(sources: &[IdSource], ram: &RamArena, page_size: usize) -> Result<Self> {
+        let readers = sources
+            .iter()
+            .map(|s| SourceReader::open(s, ram, page_size))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(UnionStream { readers })
+    }
+
+    /// Next ID of the union.
+    pub fn next(&mut self, dev: &mut FlashDevice) -> Result<Option<Id>> {
+        let mut min: Option<Id> = None;
+        for r in self.readers.iter_mut() {
+            if let Some(v) = r.peek(dev)? {
+                min = Some(match min {
+                    Some(m) => m.min(v),
+                    None => v,
+                });
+            }
+        }
+        let Some(m) = min else { return Ok(None) };
+        for r in self.readers.iter_mut() {
+            while let Some(v) = r.peek(dev)? {
+                if v == m {
+                    r.next(dev)?;
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(Some(m))
+    }
+
+    /// Peekable wrapper used by the intersection driver.
+    pub fn peek(&mut self, dev: &mut FlashDevice) -> Result<Option<Id>> {
+        let mut min: Option<Id> = None;
+        for r in self.readers.iter_mut() {
+            if let Some(v) = r.peek(dev)? {
+                min = Some(match min {
+                    Some(m) => m.min(v),
+                    None => v,
+                });
+            }
+        }
+        Ok(min)
+    }
+
+    /// Advance the union until its head is ≥ `target`; returns the head.
+    pub fn seek_at_least(
+        &mut self,
+        dev: &mut FlashDevice,
+        target: Id,
+    ) -> Result<Option<Id>> {
+        loop {
+            match self.peek(dev)? {
+                None => return Ok(None),
+                Some(v) if v >= target => return Ok(Some(v)),
+                Some(_) => {
+                    self.next(dev)?;
+                }
+            }
+        }
+    }
+}
+
+/// Intersection across groups of unions: yields IDs present in *every*
+/// group (the `∩i{∪j{...}}` of the paper's `Merge`).
+#[derive(Debug)]
+pub struct IntersectStream {
+    groups: Vec<UnionStream>,
+}
+
+impl IntersectStream {
+    /// Intersection over open unions.
+    pub fn new(groups: Vec<UnionStream>) -> Self {
+        IntersectStream { groups }
+    }
+
+    /// Next ID of the intersection.
+    pub fn next(&mut self, dev: &mut FlashDevice) -> Result<Option<Id>> {
+        if self.groups.is_empty() {
+            return Ok(None);
+        }
+        let Some(mut candidate) = self.groups[0].peek(dev)? else {
+            return Ok(None);
+        };
+        loop {
+            let mut all_match = true;
+            for g in self.groups.iter_mut() {
+                match g.seek_at_least(dev, candidate)? {
+                    None => return Ok(None),
+                    Some(v) if v == candidate => {}
+                    Some(v) => {
+                        candidate = v;
+                        all_match = false;
+                        break;
+                    }
+                }
+            }
+            if all_match {
+                for g in self.groups.iter_mut() {
+                    g.next(dev)?;
+                }
+                return Ok(Some(candidate));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_flash::{FlashGeometry, FlashTiming, SegmentAllocator};
+    use ghostdb_storage::idlist::write_id_list;
+
+    fn setup() -> (FlashDevice, SegmentAllocator, RamArena) {
+        let dev = FlashDevice::new(
+            FlashGeometry::for_capacity(4 * 1024 * 1024),
+            FlashTiming::default(),
+        );
+        let alloc = SegmentAllocator::new(dev.logical_pages());
+        (dev, alloc, RamArena::paper_default())
+    }
+
+    fn drain_union(mut u: UnionStream, dev: &mut FlashDevice) -> Vec<Id> {
+        let mut out = Vec::new();
+        while let Some(v) = u.next(dev).unwrap() {
+            out.push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn union_of_mixed_sources() {
+        let (mut dev, mut alloc, ram) = setup();
+        let flash = write_id_list(&mut dev, &mut alloc, &ram, &[2, 4, 6, 8]).unwrap();
+        let sources = vec![
+            IdSource::Flash(flash),
+            IdSource::Host(Rc::new(vec![1, 4, 9])),
+            IdSource::Range { start: 6, end: 9 },
+        ];
+        let u = UnionStream::open(&sources, &ram, dev.page_size()).unwrap();
+        assert_eq!(drain_union(u, &mut dev), vec![1, 2, 4, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn intersection_across_groups() {
+        let (mut dev, mut alloc, ram) = setup();
+        let a = write_id_list(&mut dev, &mut alloc, &ram, &[1, 3, 5, 7, 9]).unwrap();
+        let b = write_id_list(&mut dev, &mut alloc, &ram, &[3, 4, 5, 9]).unwrap();
+        let g1 = UnionStream::open(&[IdSource::Flash(a)], &ram, dev.page_size()).unwrap();
+        let g2 = UnionStream::open(&[IdSource::Flash(b)], &ram, dev.page_size()).unwrap();
+        let g3 = UnionStream::open(
+            &[IdSource::Host(Rc::new(vec![2, 3, 9, 11]))],
+            &ram,
+            dev.page_size(),
+        )
+        .unwrap();
+        let mut i = IntersectStream::new(vec![g1, g2, g3]);
+        let mut out = Vec::new();
+        while let Some(v) = i.next(&mut dev).unwrap() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![3, 9]);
+    }
+
+    #[test]
+    fn union_within_groups_intersect_across() {
+        let (mut dev, _alloc, ram) = setup();
+        // (∪ {1,2} {5,6}) ∩ (∪ {2,5} {6})  = {2,5,6}
+        let g1 = UnionStream::open(
+            &[
+                IdSource::Host(Rc::new(vec![1, 2])),
+                IdSource::Host(Rc::new(vec![5, 6])),
+            ],
+            &ram,
+            dev.page_size(),
+        )
+        .unwrap();
+        let g2 = UnionStream::open(
+            &[
+                IdSource::Host(Rc::new(vec![2, 5])),
+                IdSource::Host(Rc::new(vec![6])),
+            ],
+            &ram,
+            dev.page_size(),
+        )
+        .unwrap();
+        let mut i = IntersectStream::new(vec![g1, g2]);
+        let mut out = Vec::new();
+        while let Some(v) = i.next(&mut dev).unwrap() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![2, 5, 6]);
+    }
+
+    #[test]
+    fn empty_group_yields_empty_intersection() {
+        let (mut dev, _alloc, ram) = setup();
+        let g1 = UnionStream::open(&[IdSource::Host(Rc::new(vec![]))], &ram, dev.page_size())
+            .unwrap();
+        let g2 = UnionStream::open(
+            &[IdSource::Host(Rc::new(vec![1, 2]))],
+            &ram,
+            dev.page_size(),
+        )
+        .unwrap();
+        let mut i = IntersectStream::new(vec![g1, g2]);
+        assert_eq!(i.next(&mut dev).unwrap(), None);
+    }
+
+    #[test]
+    fn duplicates_across_sources_collapse() {
+        let (mut dev, _alloc, ram) = setup();
+        let u = UnionStream::open(
+            &[
+                IdSource::Host(Rc::new(vec![1, 2, 3])),
+                IdSource::Host(Rc::new(vec![1, 2, 3])),
+            ],
+            &ram,
+            dev.page_size(),
+        )
+        .unwrap();
+        assert_eq!(drain_union(u, &mut dev), vec![1, 2, 3]);
+    }
+}

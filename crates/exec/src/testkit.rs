@@ -1,0 +1,98 @@
+//! Deterministic miniature databases for tests (not part of the public
+//! API; `ghostdb-datagen` provides the real generators).
+
+use crate::database::{ColumnLoad, Database, TableLoad};
+use ghostdb_storage::schema::paper_synthetic_schema;
+use ghostdb_storage::{Id, Value};
+use ghostdb_token::TokenConfig;
+
+/// Zero-padded 8-digit decimal string: unique 8-byte prefix, so index keys
+/// are exact and predicates compare like numbers.
+pub fn pad8(n: u64) -> Value {
+    Value::Str(format!("{n:08}"))
+}
+
+/// Cardinalities of the tiny instance, in schema declaration order
+/// (T0, T1, T2, T11, T12).
+pub const TINY_ROWS: [u64; 5] = [600, 120, 40, 20, 16];
+
+/// A tiny instance of the paper's synthetic schema:
+///
+/// * fks: `T0.fk1 = id % |T1|`, `T0.fk2 = id % |T2|`,
+///   `T1.fk11 = id % |T11|`, `T1.fk12 = id % |T12|`;
+/// * every table: `v1 = pad8(id)` (unique), `v2 = pad8(id % 10)`,
+///   `h1 = pad8(id % 4)`, `h2 = pad8(id % 8)`; `h1`/`h2` are indexed.
+pub fn tiny_db() -> Database {
+    let schema = paper_synthetic_schema(2, 2);
+    let [n0, n1, n2, n11, n12] = TINY_ROWS;
+    let table = |name: &str, rows: u64, fks: Vec<(String, Vec<Id>)>| TableLoad {
+        table: name.into(),
+        rows,
+        fks,
+        columns: vec![
+            ColumnLoad {
+                name: "v1".into(),
+                gen: Box::new(|r| pad8(r as u64)),
+                index: false,
+                exact: None,
+            },
+            ColumnLoad {
+                name: "v2".into(),
+                gen: Box::new(|r| pad8(r as u64 % 10)),
+                index: false,
+                exact: None,
+            },
+            ColumnLoad {
+                name: "h1".into(),
+                gen: Box::new(|r| pad8(r as u64 % 4)),
+                index: true,
+                exact: Some(true),
+            },
+            ColumnLoad {
+                name: "h2".into(),
+                gen: Box::new(|r| pad8(r as u64 % 8)),
+                index: true,
+                exact: Some(true),
+            },
+        ],
+    };
+    let loads = vec![
+        table(
+            "T0",
+            n0,
+            vec![
+                ("fk1".into(), (0..n0).map(|i| (i % n1) as Id).collect()),
+                ("fk2".into(), (0..n0).map(|i| (i % n2) as Id).collect()),
+            ],
+        ),
+        table(
+            "T1",
+            n1,
+            vec![
+                ("fk11".into(), (0..n1).map(|i| (i % n11) as Id).collect()),
+                ("fk12".into(), (0..n1).map(|i| (i % n12) as Id).collect()),
+            ],
+        ),
+        table("T2", n2, vec![]),
+        table("T11", n11, vec![]),
+        table("T12", n12, vec![]),
+    ];
+    Database::assemble(schema, &TokenConfig::paper_platform(16 * 1024 * 1024), loads)
+        .expect("tiny db assembles")
+}
+
+/// Ground truth for the tiny database: root ids satisfying a caller
+/// predicate over the joined tuple (t0, t1, t2, t11, t12 row ids).
+pub fn tiny_truth(mut keep: impl FnMut(u64, u64, u64, u64, u64) -> bool) -> Vec<Id> {
+    let [n0, n1, n2, n11, n12] = TINY_ROWS;
+    (0..n0)
+        .filter(|i| {
+            let t1 = i % n1;
+            let t2 = i % n2;
+            let t11 = t1 % n11;
+            let t12 = t1 % n12;
+            keep(*i, t1, t2, t11, t12)
+        })
+        .map(|i| i as Id)
+        .collect()
+}

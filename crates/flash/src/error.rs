@@ -1,0 +1,52 @@
+//! Error type for the flash simulator.
+
+use std::fmt;
+
+/// Errors surfaced by the flash device and its allocator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// A logical page number outside the device's logical capacity.
+    BadAddress(u64),
+    /// An access crossing the page boundary (offset + len > page size).
+    OutOfPage {
+        /// Offset within the page where the access started.
+        offset: usize,
+        /// Length of the access.
+        len: usize,
+        /// Configured page size.
+        page_size: usize,
+    },
+    /// The device ran out of writable physical space even after garbage
+    /// collection (logical over-commit or zero over-provisioning).
+    OutOfSpace,
+    /// The segment allocator could not find a contiguous logical run.
+    OutOfLogicalSpace {
+        /// Number of pages that were requested.
+        requested: u64,
+    },
+    /// A segment operation addressed pages outside the segment.
+    SegmentOverflow,
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::BadAddress(lpn) => write!(f, "logical page {lpn} out of range"),
+            FlashError::OutOfPage {
+                offset,
+                len,
+                page_size,
+            } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) crosses the {page_size}-byte page boundary"
+            ),
+            FlashError::OutOfSpace => write!(f, "no writable physical space left (GC exhausted)"),
+            FlashError::OutOfLogicalSpace { requested } => {
+                write!(f, "no contiguous run of {requested} logical pages available")
+            }
+            FlashError::SegmentOverflow => write!(f, "access outside the segment bounds"),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}

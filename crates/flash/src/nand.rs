@@ -1,0 +1,202 @@
+//! Raw physical NAND array: program-once pages, block erase, wear counters.
+
+use crate::geometry::FlashGeometry;
+use crate::{Lpn, Ppn};
+
+/// State of a physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Erased and programmable.
+    Free,
+    /// Holds the current image of a logical page.
+    Valid(Lpn),
+    /// Holds a stale image; space is reclaimed by erasing the block.
+    Invalid,
+}
+
+/// The physical array. Pages can only be programmed while `Free` (NAND
+/// cannot overwrite in place — §6.1: "updates are not performed in place in
+/// Flash") and are freed a whole block at a time by `erase_block`.
+///
+/// Page payloads are allocated lazily so simulating a multi-gigabyte module
+/// costs host memory proportional to the data actually written.
+#[derive(Debug)]
+pub struct NandArray {
+    geometry: FlashGeometry,
+    states: Vec<PageState>,
+    data: Vec<Option<Box<[u8]>>>,
+    erase_counts: Vec<u64>,
+    valid_per_block: Vec<u32>,
+    invalid_per_block: Vec<u32>,
+}
+
+impl NandArray {
+    /// A fully erased array.
+    pub fn new(geometry: FlashGeometry) -> Self {
+        geometry.validate();
+        let pages = geometry.physical_pages() as usize;
+        let blocks = geometry.block_count as usize;
+        NandArray {
+            geometry,
+            states: vec![PageState::Free; pages],
+            data: (0..pages).map(|_| None).collect(),
+            erase_counts: vec![0; blocks],
+            valid_per_block: vec![0; blocks],
+            invalid_per_block: vec![0; blocks],
+        }
+    }
+
+    /// Geometry of this array.
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geometry
+    }
+
+    /// State of a physical page.
+    pub fn state(&self, ppn: Ppn) -> PageState {
+        self.states[ppn as usize]
+    }
+
+    /// Copy `buf.len()` bytes starting at `offset` out of a page. Unwritten
+    /// (never programmed) pages read as zeroes.
+    pub fn read(&self, ppn: Ppn, offset: usize, buf: &mut [u8]) {
+        debug_assert!(offset + buf.len() <= self.geometry.page_size);
+        match &self.data[ppn as usize] {
+            Some(page) => buf.copy_from_slice(&page[offset..offset + buf.len()]),
+            None => buf.fill(0),
+        }
+    }
+
+    /// Program a free page with a full page image and tag it as the current
+    /// version of `lpn`. Panics if the page is not free — the FTL guarantees
+    /// it never programs a non-free page, and violating that is a simulator
+    /// bug, not a recoverable condition.
+    pub fn program(&mut self, ppn: Ppn, lpn: Lpn, image: &[u8]) {
+        assert_eq!(
+            self.states[ppn as usize],
+            PageState::Free,
+            "programming non-free physical page {ppn}"
+        );
+        debug_assert_eq!(image.len(), self.geometry.page_size);
+        self.data[ppn as usize] = Some(image.into());
+        self.states[ppn as usize] = PageState::Valid(lpn);
+        self.valid_per_block[self.geometry.block_of(ppn) as usize] += 1;
+    }
+
+    /// Mark a valid page stale.
+    pub fn invalidate(&mut self, ppn: Ppn) {
+        let block = self.geometry.block_of(ppn) as usize;
+        match self.states[ppn as usize] {
+            PageState::Valid(_) => {
+                self.states[ppn as usize] = PageState::Invalid;
+                self.valid_per_block[block] -= 1;
+                self.invalid_per_block[block] += 1;
+            }
+            other => panic!("invalidating page {ppn} in state {other:?}"),
+        }
+    }
+
+    /// Erase a block: every page becomes free, payloads dropped, wear +1.
+    pub fn erase_block(&mut self, block: u64) {
+        let first = self.geometry.block_first_page(block);
+        for ppn in first..first + self.geometry.pages_per_block {
+            self.states[ppn as usize] = PageState::Free;
+            self.data[ppn as usize] = None;
+        }
+        self.erase_counts[block as usize] += 1;
+        self.valid_per_block[block as usize] = 0;
+        self.invalid_per_block[block as usize] = 0;
+    }
+
+    /// How many times a block has been erased (wear-levelling input).
+    pub fn erase_count(&self, block: u64) -> u64 {
+        self.erase_counts[block as usize]
+    }
+
+    /// Valid pages currently in a block.
+    pub fn valid_in_block(&self, block: u64) -> u32 {
+        self.valid_per_block[block as usize]
+    }
+
+    /// Invalid (stale) pages currently in a block.
+    pub fn invalid_in_block(&self, block: u64) -> u32 {
+        self.invalid_per_block[block as usize]
+    }
+
+    /// Iterator over the valid pages of a block with their logical owners.
+    pub fn valid_pages_of_block(&self, block: u64) -> impl Iterator<Item = (Ppn, Lpn)> + '_ {
+        let first = self.geometry.block_first_page(block);
+        (first..first + self.geometry.pages_per_block).filter_map(move |ppn| {
+            match self.states[ppn as usize] {
+                PageState::Valid(lpn) => Some((ppn, lpn)),
+                _ => None,
+            }
+        })
+    }
+
+    /// Maximum spread between block erase counts (wear-levelling health).
+    pub fn wear_spread(&self) -> u64 {
+        let min = self.erase_counts.iter().min().copied().unwrap_or(0);
+        let max = self.erase_counts.iter().max().copied().unwrap_or(0);
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> NandArray {
+        NandArray::new(FlashGeometry {
+            page_size: 256,
+            pages_per_block: 4,
+            block_count: 4,
+            spare_blocks: 1,
+        })
+    }
+
+    #[test]
+    fn program_read_roundtrip() {
+        let mut nand = tiny();
+        let image = vec![0xabu8; 256];
+        nand.program(3, 7, &image);
+        assert_eq!(nand.state(3), PageState::Valid(7));
+        let mut buf = [0u8; 8];
+        nand.read(3, 16, &mut buf);
+        assert_eq!(buf, [0xab; 8]);
+        assert_eq!(nand.valid_in_block(0), 1);
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let nand = tiny();
+        let mut buf = [0xffu8; 4];
+        nand.read(0, 0, &mut buf);
+        assert_eq!(buf, [0; 4]);
+    }
+
+    #[test]
+    fn invalidate_and_erase() {
+        let mut nand = tiny();
+        nand.program(0, 1, &vec![1u8; 256]);
+        nand.program(1, 2, &vec![2u8; 256]);
+        nand.invalidate(0);
+        assert_eq!(nand.state(0), PageState::Invalid);
+        assert_eq!(nand.valid_in_block(0), 1);
+        assert_eq!(nand.invalid_in_block(0), 1);
+        let owners: Vec<_> = nand.valid_pages_of_block(0).collect();
+        assert_eq!(owners, vec![(1, 2)]);
+        nand.erase_block(0);
+        assert_eq!(nand.state(0), PageState::Free);
+        assert_eq!(nand.state(1), PageState::Free);
+        assert_eq!(nand.erase_count(0), 1);
+        assert_eq!(nand.wear_spread(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "programming non-free")]
+    fn double_program_panics() {
+        let mut nand = tiny();
+        nand.program(0, 1, &vec![0u8; 256]);
+        nand.program(0, 2, &vec![0u8; 256]);
+    }
+}

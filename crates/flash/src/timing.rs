@@ -1,0 +1,86 @@
+//! The Table 1 cost model of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of the flash module (paper Table 1).
+///
+/// Reading `k` bytes of a page costs `read_page_us + k × transfer_ns_per_byte`
+/// (load the page into the data register, then shift the needed bytes to
+/// RAM). Programming a page costs `program_page_us` plus the RAM→register
+/// transfer of the full page, which reproduces the write/read cost ratio of
+/// ~2.5 (vs. a full-page read) to ~12 (vs. a single-word read) quoted in
+/// §2.3/§6.1. Block erase happens only inside FTL garbage collection; the
+/// paper does not list an erase time, so we use 1.5 ms, typical of the NAND
+/// parts of that generation (documented substitution).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashTiming {
+    /// Time to load a page from the NAND array into the data register (µs).
+    pub read_page_us: u64,
+    /// Time to move one byte between the data register and RAM (ns).
+    pub transfer_ns_per_byte: u64,
+    /// Time to program a page from the data register into the array (µs).
+    pub program_page_us: u64,
+    /// Time to erase a block (µs). Not in Table 1; see struct docs.
+    pub erase_block_us: u64,
+}
+
+impl FlashTiming {
+    /// Simulated cost in nanoseconds of reading `bytes` from one page.
+    pub fn read_cost_ns(&self, bytes: usize) -> u128 {
+        self.read_page_us as u128 * 1_000 + bytes as u128 * self.transfer_ns_per_byte as u128
+    }
+
+    /// Simulated cost in nanoseconds of programming one full page of
+    /// `page_size` bytes (transfer + program).
+    pub fn write_cost_ns(&self, page_size: usize) -> u128 {
+        self.program_page_us as u128 * 1_000
+            + page_size as u128 * self.transfer_ns_per_byte as u128
+    }
+
+    /// Simulated cost in nanoseconds of erasing one block.
+    pub fn erase_cost_ns(&self) -> u128 {
+        self.erase_block_us as u128 * 1_000
+    }
+}
+
+impl Default for FlashTiming {
+    fn default() -> Self {
+        FlashTiming {
+            read_page_us: 25,
+            transfer_ns_per_byte: 50,
+            program_page_us: 200,
+            erase_block_us: 1_500,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_costs() {
+        let t = FlashTiming::default();
+        // Reading a full 2 KB page: 25 µs + 2048 × 50 ns ≈ 127.4 µs,
+        // within the paper's quoted 25–125 µs band (they round the transfer).
+        assert_eq!(t.read_cost_ns(2048), 25_000 + 2048 * 50);
+        // Reading a single 4-byte word costs barely more than the page load.
+        assert_eq!(t.read_cost_ns(4), 25_000 + 200);
+        // Writing a page: 200 µs + transfer.
+        assert_eq!(t.write_cost_ns(2048), 200_000 + 2048 * 50);
+    }
+
+    #[test]
+    fn write_read_ratio_matches_paper_band() {
+        let t = FlashTiming::default();
+        let w = t.write_cost_ns(2048) as f64;
+        let full_read = t.read_cost_ns(2048) as f64;
+        let word_read = t.read_cost_ns(4) as f64;
+        let low = w / full_read;
+        let high = w / word_read;
+        // §2.3: "writes are roughly between 3 to 12 times slower than reads";
+        // §6.1 refines to "roughly vary from 2.5 to 12".
+        assert!((2.2..3.2).contains(&low), "low ratio {low}");
+        assert!((10.0..14.0).contains(&high), "high ratio {high}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests: the FTL must behave like a plain logical page store under
+//! arbitrary interleavings of writes, partial writes, trims and reads, with
+//! garbage collection and wear levelling running underneath.
+
+use ghostdb_flash::{FlashDevice, FlashGeometry, FlashTiming};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { lpn: u64, byte: u8, len: usize },
+    WriteAt { lpn: u64, offset: usize, byte: u8 },
+    Trim { lpn: u64 },
+    Read { lpn: u64 },
+}
+
+fn op_strategy(logical_pages: u64, page_size: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..logical_pages, any::<u8>(), 1..=page_size)
+            .prop_map(|(lpn, byte, len)| Op::Write { lpn, byte, len }),
+        (0..logical_pages, 0..page_size - 8, any::<u8>())
+            .prop_map(|(lpn, offset, byte)| Op::WriteAt { lpn, offset, byte }),
+        (0..logical_pages).prop_map(|lpn| Op::Trim { lpn }),
+        (0..logical_pages).prop_map(|lpn| Op::Read { lpn }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ftl_matches_model(ops in proptest::collection::vec(op_strategy(24, 256), 1..300)) {
+        let geometry = FlashGeometry {
+            page_size: 256,
+            pages_per_block: 4,
+            block_count: 10,
+            spare_blocks: 3,
+        };
+        prop_assume!(geometry.logical_pages() >= 24);
+        let mut dev = FlashDevice::new(geometry, FlashTiming::default());
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Write { lpn, byte, len } => {
+                    let image = vec![byte; len];
+                    dev.write(lpn, &image).unwrap();
+                    let mut page = vec![0u8; 256];
+                    page[..len].copy_from_slice(&image);
+                    model.insert(lpn, page);
+                }
+                Op::WriteAt { lpn, offset, byte } => {
+                    dev.write_at(lpn, offset, &[byte; 8]).unwrap();
+                    let page = model.entry(lpn).or_insert_with(|| vec![0u8; 256]);
+                    page[offset..offset + 8].fill(byte);
+                }
+                Op::Trim { lpn } => {
+                    dev.trim(lpn).unwrap();
+                    model.remove(&lpn);
+                }
+                Op::Read { lpn } => {
+                    let mut buf = vec![0u8; 256];
+                    dev.read(lpn, 0, &mut buf).unwrap();
+                    let expect = model.get(&lpn).cloned().unwrap_or_else(|| vec![0u8; 256]);
+                    prop_assert_eq!(&buf, &expect, "lpn {}", lpn);
+                }
+            }
+        }
+
+        // Final full check of every logical page.
+        for lpn in 0..24u64 {
+            let mut buf = vec![0u8; 256];
+            dev.read(lpn, 0, &mut buf).unwrap();
+            let expect = model.get(&lpn).cloned().unwrap_or_else(|| vec![0u8; 256]);
+            prop_assert_eq!(&buf, &expect, "final lpn {}", lpn);
+        }
+    }
+
+    #[test]
+    fn stats_are_monotone_and_time_positive(
+        writes in proptest::collection::vec((0u64..16, 1usize..256), 1..100)
+    ) {
+        let geometry = FlashGeometry {
+            page_size: 256,
+            pages_per_block: 4,
+            block_count: 8,
+            spare_blocks: 2,
+        };
+        let mut dev = FlashDevice::new(geometry, FlashTiming::default());
+        let mut last = dev.elapsed();
+        for (lpn, len) in writes {
+            dev.write(lpn, &vec![1u8; len]).unwrap();
+            let now = dev.elapsed();
+            prop_assert!(now > last, "simulated clock must advance on writes");
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Climbing indexes (paper §3.2, Figure 4).
+//!
+//! A climbing index on attribute `Ti.a` maps each attribute value to **one
+//! sorted sublist of IDs per target level**: the indexed table itself and
+//! each ancestor up to the root. Selecting on `Ti.a` and "climbing" straight
+//! to an ancestor `A` replaces a cascade of index lookups and ID-list unions
+//! — the multi-pass, write-intensive pattern §3.2 rules out on a 64 KB-RAM
+//! token.
+//!
+//! On flash the index is a [`BTree`] over order-preserving value keys whose
+//! leaf payloads hold, per level, an `(offset, count)` descriptor into that
+//! level's packed **ID area** (one contiguous segment per level, sublists
+//! back to back in key order — so a range scan touches each area
+//! sequentially).
+
+use ghostdb_flash::{FlashDevice, Segment};
+use ghostdb_storage::btree::{BTree, BTreeCursor};
+use ghostdb_storage::{IdList, Result, StorageError, TableId};
+use ghostdb_token::RamArena;
+
+/// Which levels (targets) a climbing index carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelSpec {
+    /// The indexed table and every ancestor up to the root (FullIndex).
+    FullClimb,
+    /// The indexed table and the root only (BasicIndex).
+    SelfAndRoot,
+    /// The indexed table only (StarIndex / JoinIndex selection indexes).
+    SelfOnly,
+    /// Ancestors only — used for primary-key indexes, where the self level
+    /// is the identity (Figure 4's "Climbing Index on T1.id").
+    AncestorsOnly,
+}
+
+/// Per-level descriptor width in a leaf payload: offset u64 + count u32.
+pub const LEVEL_DESC_BYTES: usize = 12;
+
+/// A climbing index on flash.
+#[derive(Debug, Clone)]
+pub struct ClimbingIndex {
+    /// Indexed table.
+    pub table: TableId,
+    /// Indexed column name (`"id"` for primary-key indexes).
+    pub column: String,
+    /// Target tables, innermost first (e.g. `[T12, T1, T0]`).
+    pub levels: Vec<TableId>,
+    /// True when value→key encoding is injective for the indexed data, so
+    /// equality probes are exact; otherwise operators must re-check the
+    /// predicate on exact values at projection time (same machinery that
+    /// discards Bloom false positives).
+    pub exact: bool,
+    /// Rows in the indexed table (selectivity estimation).
+    pub rows: u64,
+    tree: BTree,
+    /// Packed ID area per level (parallel to `levels`).
+    areas: Vec<Segment>,
+}
+
+impl ClimbingIndex {
+    /// Assemble from built parts (used by `IndexBuilder`).
+    pub fn new(
+        table: TableId,
+        column: String,
+        levels: Vec<TableId>,
+        exact: bool,
+        rows: u64,
+        tree: BTree,
+        areas: Vec<Segment>,
+    ) -> Self {
+        assert_eq!(levels.len(), areas.len());
+        assert_eq!(tree.payload_size(), levels.len() * LEVEL_DESC_BYTES);
+        ClimbingIndex {
+            table,
+            column,
+            levels,
+            exact,
+            rows,
+            tree,
+            areas,
+        }
+    }
+
+    /// Level index of target table `t`, if this index climbs to it.
+    pub fn level_of(&self, t: TableId) -> Option<usize> {
+        self.levels.iter().position(|l| *l == t)
+    }
+
+    /// Distinct keys in the index.
+    pub fn distinct(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// Bytes occupied on flash: B+-tree plus all ID areas.
+    pub fn bytes(&self, page_size: usize) -> u64 {
+        self.tree.bytes() + self.areas.iter().map(|a| a.pages() * page_size as u64).sum::<u64>()
+    }
+
+    /// Open a probe (pins one RAM buffer per B+-tree level, §3.4).
+    pub fn probe(&self, ram: &RamArena) -> Result<CiProbe<'_>> {
+        Ok(CiProbe {
+            index: self,
+            cursor: self.tree.cursor(ram)?,
+            payload: vec![0u8; self.tree.payload_size()],
+        })
+    }
+
+    fn decode_level(&self, payload: &[u8], level: usize) -> IdList {
+        let at = level * LEVEL_DESC_BYTES;
+        let offset = u64::from_le_bytes(payload[at..at + 8].try_into().unwrap());
+        let count = u32::from_le_bytes(payload[at + 8..at + 12].try_into().unwrap());
+        IdList {
+            segment: self.areas[level],
+            byte_offset: offset,
+            count: count as u64,
+        }
+    }
+}
+
+/// A probe handle over a climbing index.
+#[derive(Debug)]
+pub struct CiProbe<'a> {
+    index: &'a ClimbingIndex,
+    cursor: BTreeCursor,
+    payload: Vec<u8>,
+}
+
+impl CiProbe<'_> {
+    fn check_level(&self, level: usize) -> Result<()> {
+        if level >= self.index.levels.len() {
+            return Err(StorageError::Corrupt(format!(
+                "climbing index {}.{} has no level {level}",
+                self.index.table, self.index.column
+            )));
+        }
+        Ok(())
+    }
+
+    /// Equality probe: the sorted ID sublist of `level` for `key`, or `None`
+    /// when the key is absent.
+    pub fn lookup_eq(
+        &mut self,
+        dev: &mut FlashDevice,
+        key: u64,
+        level: usize,
+    ) -> Result<Option<IdList>> {
+        self.check_level(level)?;
+        self.cursor.seek(dev, key)?;
+        match self.cursor.next_into(dev, &mut self.payload)? {
+            Some(k) if k == key => Ok(Some(self.index.decode_level(&self.payload, level))),
+            _ => Ok(None),
+        }
+    }
+
+    /// Range probe over keys in `[lo, hi]` (inclusive): one sorted sublist
+    /// per matching entry — the `{Li}` collections the paper's plans feed to
+    /// `Merge`.
+    pub fn lookup_range(
+        &mut self,
+        dev: &mut FlashDevice,
+        lo: u64,
+        hi: u64,
+        level: usize,
+    ) -> Result<Vec<IdList>> {
+        self.check_level(level)?;
+        let mut out = Vec::new();
+        self.cursor.seek(dev, lo)?;
+        while let Some(k) = self.cursor.next_into(dev, &mut self.payload)? {
+            if k > hi {
+                break;
+            }
+            out.push(self.index.decode_level(&self.payload, level));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FkData, IndexBuilder};
+    use ghostdb_flash::{FlashDevice, FlashGeometry, FlashTiming, SegmentAllocator};
+    use ghostdb_storage::schema::paper_synthetic_schema;
+    use ghostdb_storage::IdListReader;
+
+    fn setup() -> (FlashDevice, SegmentAllocator, RamArena) {
+        let dev = FlashDevice::new(
+            FlashGeometry::for_capacity(32 * 1024 * 1024),
+            FlashTiming::default(),
+        );
+        let alloc = SegmentAllocator::new(dev.logical_pages());
+        let ram = RamArena::paper_default();
+        (dev, alloc, ram)
+    }
+
+    /// Tiny deterministic instance of the paper schema:
+    /// T0 rows reference T1 via fk1 = id/2 and T2 via fk2 = id%t2.
+    /// T1 rows reference T11 via id%t11 and T12 via id%t12.
+    fn tiny_builder(schema: &ghostdb_storage::SchemaTree) -> IndexBuilder {
+        let t0 = schema.table_id("T0").unwrap();
+        let t1 = schema.table_id("T1").unwrap();
+        let t2 = schema.table_id("T2").unwrap();
+        let t11 = schema.table_id("T11").unwrap();
+        let t12 = schema.table_id("T12").unwrap();
+        let rows = {
+            let mut r = vec![0u64; schema.len()];
+            r[t0] = 40;
+            r[t1] = 20;
+            r[t2] = 10;
+            r[t11] = 5;
+            r[t12] = 4;
+            r
+        };
+        let mut fks = FkData::default();
+        fks.insert(t0, t1, (0..40).map(|i| (i / 2) as u32).collect());
+        fks.insert(t0, t2, (0..40).map(|i| (i % 10) as u32).collect());
+        fks.insert(t1, t11, (0..20).map(|i| (i % 5) as u32).collect());
+        fks.insert(t1, t12, (0..20).map(|i| (i % 4) as u32).collect());
+        IndexBuilder::new(schema.clone(), rows, fks)
+    }
+
+    #[test]
+    fn climbing_index_climbs_to_every_level() {
+        let schema = paper_synthetic_schema(1, 1);
+        let (mut dev, mut alloc, ram) = setup();
+        let b = tiny_builder(&schema);
+        let t12 = schema.table_id("T12").unwrap();
+        // Attribute h on T12 rows: key = row id % 2 (two distinct values).
+        let keys: Vec<u64> = (0..4).map(|r| (r % 2) as u64).collect();
+        let ci = b
+            .build_climbing(&mut dev, &mut alloc, t12, "h1", &keys, LevelSpec::FullClimb, true)
+            .unwrap();
+        assert_eq!(ci.levels.len(), 3); // T12, T1, T0
+        assert_eq!(ci.distinct(), 2);
+        let mut probe = ci.probe(&ram).unwrap();
+        // key 0 selects T12 ids {0, 2}.
+        let self_list = probe.lookup_eq(&mut dev, 0, 0).unwrap().unwrap();
+        let ids = IdListReader::open(self_list, &ram, dev.page_size())
+            .unwrap()
+            .drain(&mut dev)
+            .unwrap();
+        assert_eq!(ids, vec![0, 2]);
+        // Climb to T1: T1 rows with fk12 ∈ {0,2} = ids where id%4 ∈ {0,2}.
+        let t1_list = probe.lookup_eq(&mut dev, 0, 1).unwrap().unwrap();
+        let ids = IdListReader::open(t1_list, &ram, dev.page_size())
+            .unwrap()
+            .drain(&mut dev)
+            .unwrap();
+        let expect: Vec<u32> = (0..20).filter(|i| i % 4 == 0 || i % 4 == 2).collect();
+        assert_eq!(ids, expect);
+        // Climb to T0: T0 rows whose T1 parent (id/2) is in the T1 list.
+        let t0_list = probe.lookup_eq(&mut dev, 0, 2).unwrap().unwrap();
+        let ids = IdListReader::open(t0_list, &ram, dev.page_size())
+            .unwrap()
+            .drain(&mut dev)
+            .unwrap();
+        let expect: Vec<u32> = (0..40u32).filter(|i| (i / 2) % 4 == 0 || (i / 2) % 4 == 2).collect();
+        assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn range_probe_returns_one_sublist_per_entry() {
+        let schema = paper_synthetic_schema(1, 1);
+        let (mut dev, mut alloc, ram) = setup();
+        let b = tiny_builder(&schema);
+        let t1 = schema.table_id("T1").unwrap();
+        let keys: Vec<u64> = (0..20).map(|r| (r % 10) as u64).collect();
+        let ci = b
+            .build_climbing(&mut dev, &mut alloc, t1, "h1", &keys, LevelSpec::FullClimb, true)
+            .unwrap();
+        let mut probe = ci.probe(&ram).unwrap();
+        let lists = probe.lookup_range(&mut dev, 3, 6, 0).unwrap();
+        assert_eq!(lists.len(), 4, "keys 3,4,5,6");
+        let all: Vec<Vec<u32>> = lists
+            .into_iter()
+            .map(|l| {
+                IdListReader::open(l, &ram, dev.page_size())
+                    .unwrap()
+                    .drain(&mut dev)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(all[0], vec![3, 13]);
+        assert_eq!(all[3], vec![6, 16]);
+    }
+
+    #[test]
+    fn missing_key_and_bad_level() {
+        let schema = paper_synthetic_schema(1, 1);
+        let (mut dev, mut alloc, ram) = setup();
+        let b = tiny_builder(&schema);
+        let t2 = schema.table_id("T2").unwrap();
+        let keys: Vec<u64> = (0..10).map(|r| r as u64 * 10).collect();
+        let ci = b
+            .build_climbing(&mut dev, &mut alloc, t2, "h1", &keys, LevelSpec::FullClimb, true)
+            .unwrap();
+        assert_eq!(ci.levels.len(), 2); // T2, T0
+        let mut probe = ci.probe(&ram).unwrap();
+        assert!(probe.lookup_eq(&mut dev, 5, 0).unwrap().is_none());
+        assert!(probe.lookup_eq(&mut dev, 0, 5).is_err());
+    }
+
+    #[test]
+    fn pk_index_has_ancestor_levels_only() {
+        let schema = paper_synthetic_schema(1, 1);
+        let (mut dev, mut alloc, ram) = setup();
+        let b = tiny_builder(&schema);
+        let t1 = schema.table_id("T1").unwrap();
+        let keys: Vec<u64> = (0..20).map(|r| r as u64).collect(); // id index
+        let ci = b
+            .build_climbing(
+                &mut dev,
+                &mut alloc,
+                t1,
+                "id",
+                &keys,
+                LevelSpec::AncestorsOnly,
+                true,
+            )
+            .unwrap();
+        assert_eq!(ci.levels.len(), 1); // T0 only
+        let mut probe = ci.probe(&ram).unwrap();
+        // T1 id 7 → T0 ids {14, 15} (fk1 = id/2).
+        let list = probe.lookup_eq(&mut dev, 7, 0).unwrap().unwrap();
+        let ids = IdListReader::open(list, &ram, dev.page_size())
+            .unwrap()
+            .drain(&mut dev)
+            .unwrap();
+        assert_eq!(ids, vec![14, 15]);
+    }
+
+    #[test]
+    fn self_and_root_spec() {
+        let schema = paper_synthetic_schema(1, 1);
+        let (mut dev, mut alloc, _ram) = setup();
+        let b = tiny_builder(&schema);
+        let t12 = schema.table_id("T12").unwrap();
+        let keys: Vec<u64> = (0..4).map(|r| r as u64).collect();
+        let ci = b
+            .build_climbing(&mut dev, &mut alloc, t12, "h1", &keys, LevelSpec::SelfAndRoot, true)
+            .unwrap();
+        let t0 = schema.root();
+        assert_eq!(ci.levels, vec![t12, t0]);
+        assert!(ci.level_of(schema.table_id("T1").unwrap()).is_none());
+    }
+}

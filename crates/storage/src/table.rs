@@ -1,0 +1,628 @@
+//! On-flash tables: the columnar hidden image `TiH` and generic fixed-width
+//! row tables (SKTs, materialised operator outputs).
+//!
+//! The hidden image of a table stores each hidden column in its own
+//! contiguous segment, **sorted by tuple id** — so `MJoin` can merge hidden
+//! values against sorted ID lists with a single sequential scan per column
+//! (paper §4: "Ti.vlist, Ti.hlist and σVHTi.id are all sorted on idTi and
+//! can be joined by a sequential scan of each list and a simple merge").
+//! Row tables hold multi-ID records in id order (SKTs, `SJoin` results).
+
+use crate::error::StorageError;
+use crate::row::RowLayout;
+use crate::value::{ColumnType, Value};
+use crate::{Id, Result};
+use ghostdb_flash::{FlashDevice, Segment, SegmentAllocator};
+use ghostdb_token::{RamArena, RamBuffer};
+
+/// One hidden column on flash, sorted by tuple id.
+#[derive(Debug, Clone)]
+pub struct HiddenColumn {
+    /// Column name.
+    pub name: String,
+    /// Declared type (fixed width).
+    pub ty: ColumnType,
+    segment: Segment,
+    rows: u64,
+}
+
+impl HiddenColumn {
+    /// Bulk-load a column from a value generator (load path; charges
+    /// sequential page writes, exactly what burning the key would cost).
+    pub fn bulk_load_with(
+        dev: &mut FlashDevice,
+        alloc: &mut SegmentAllocator,
+        name: &str,
+        ty: ColumnType,
+        rows: u64,
+        mut gen: impl FnMut(Id) -> Value,
+    ) -> Result<Self> {
+        let width = ty.width();
+        let page_size = dev.page_size();
+        let vals_per_page = (page_size / width) as u64;
+        assert!(vals_per_page > 0, "column value wider than a page");
+        let pages = rows.div_ceil(vals_per_page).max(1);
+        let segment = alloc.alloc(pages)?;
+        let mut image = vec![0u8; page_size];
+        let mut row = 0u64;
+        let mut page = 0u64;
+        while row < rows {
+            let on_page = vals_per_page.min(rows - row) as usize;
+            for i in 0..on_page {
+                gen((row + i as u64) as Id)
+                    .encode(&ty, &mut image[i * width..(i + 1) * width])
+                    .map_err(|_| StorageError::TypeMismatch {
+                        column: name.into(),
+                        expected: "declared column type",
+                    })?;
+            }
+            dev.write(segment.lpn(page)?, &image[..on_page * width])?;
+            row += on_page as u64;
+            page += 1;
+        }
+        Ok(HiddenColumn {
+            name: name.into(),
+            ty,
+            segment,
+            rows,
+        })
+    }
+
+    /// Bulk-load a column from host values.
+    pub fn bulk_load(
+        dev: &mut FlashDevice,
+        alloc: &mut SegmentAllocator,
+        name: &str,
+        ty: ColumnType,
+        values: &[Value],
+    ) -> Result<Self> {
+        HiddenColumn::bulk_load_with(dev, alloc, name, ty, values.len() as u64, |r| {
+            values[r as usize].clone()
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Bytes occupied (for size accounting).
+    pub fn bytes(&self) -> u64 {
+        self.rows * self.ty.width() as u64
+    }
+
+    fn locate(&self, row: u64, page_size: usize) -> (u64, usize) {
+        let width = self.ty.width();
+        let vpp = (page_size / width) as u64;
+        (row / vpp, (row % vpp) as usize * width)
+    }
+
+    /// Random access to one value (charges a page load + `width` bytes).
+    pub fn get(&self, dev: &mut FlashDevice, row: Id) -> Result<Value> {
+        if row as u64 >= self.rows {
+            return Err(StorageError::RowOutOfRange {
+                row: row as u64,
+                rows: self.rows,
+            });
+        }
+        let (page, off) = self.locate(row as u64, dev.page_size());
+        let mut buf = vec![0u8; self.ty.width()];
+        dev.read(self.segment.lpn(page)?, off, &mut buf)?;
+        Ok(Value::decode(&self.ty, &buf))
+    }
+
+    /// Open a sequential scan (one RAM buffer).
+    pub fn scan(&self, ram: &RamArena, page_size: usize) -> Result<ColumnScan> {
+        Ok(ColumnScan {
+            column: self.clone(),
+            buf: ram.alloc()?,
+            buffered_page: None,
+            pos: 0,
+            page_size,
+        })
+    }
+
+    /// Scan positioned to deliver values for an *ascending* sequence of row
+    /// ids (merge-style access: each page read at most once).
+    pub fn selective_scan(&self, ram: &RamArena, page_size: usize) -> Result<ColumnScan> {
+        self.scan(ram, page_size)
+    }
+}
+
+/// Sequential (or ascending-skip) scan over a hidden column.
+#[derive(Debug)]
+pub struct ColumnScan {
+    column: HiddenColumn,
+    buf: RamBuffer,
+    buffered_page: Option<u64>,
+    pos: u64,
+    page_size: usize,
+}
+
+impl ColumnScan {
+    /// Value at row `row`, which must be ≥ any previously requested row.
+    /// Pages are loaded at most once each (sorted merge access pattern).
+    pub fn value_at(&mut self, dev: &mut FlashDevice, row: Id) -> Result<Value> {
+        if (row as u64) < self.pos {
+            return Err(StorageError::Corrupt(format!(
+                "ColumnScan going backwards: {row} after {}",
+                self.pos
+            )));
+        }
+        self.pos = row as u64;
+        if row as u64 >= self.column.rows {
+            return Err(StorageError::RowOutOfRange {
+                row: row as u64,
+                rows: self.column.rows,
+            });
+        }
+        let (page, off) = self.column.locate(row as u64, self.page_size);
+        if self.buffered_page != Some(page) {
+            let width = self.column.ty.width();
+            let vpp = self.page_size / width;
+            let rows_on_page = ((self.column.rows - page * vpp as u64) as usize).min(vpp);
+            let used = rows_on_page * width;
+            dev.read(self.column.segment.lpn(page)?, 0, &mut self.buf[..used])?;
+            self.buffered_page = Some(page);
+        }
+        let width = self.column.ty.width();
+        Ok(Value::decode(
+            &self.column.ty,
+            &self.buf[off..off + width],
+        ))
+    }
+
+    /// Next value in sequence (plain full scan).
+    pub fn next_value(&mut self, dev: &mut FlashDevice) -> Result<Option<Value>> {
+        if self.pos >= self.column.rows {
+            return Ok(None);
+        }
+        let v = self.value_at(dev, self.pos as Id)?;
+        self.pos += 1;
+        Ok(Some(v))
+    }
+}
+
+/// The hidden image `TiH`: all hidden columns of one table.
+#[derive(Debug, Clone, Default)]
+pub struct HiddenImage {
+    /// Hidden columns, in schema order.
+    pub columns: Vec<HiddenColumn>,
+    /// Table cardinality.
+    pub rows: u64,
+}
+
+impl HiddenImage {
+    /// Find a column by name.
+    pub fn column(&self, name: &str) -> Result<&HiddenColumn> {
+        self.columns
+            .iter()
+            .find(|c| c.name == name)
+            .ok_or_else(|| StorageError::Unknown(name.into()))
+    }
+
+    /// Total bytes of the image.
+    pub fn bytes(&self) -> u64 {
+        self.columns.iter().map(|c| c.bytes()).sum()
+    }
+}
+
+/// A fixed-width row table on flash (SKTs, materialised intermediates).
+/// Rows are implicitly numbered 0..rows in storage order.
+#[derive(Debug, Clone)]
+pub struct FlashTable {
+    /// Row layout.
+    pub layout: RowLayout,
+    segment: Segment,
+    rows: u64,
+}
+
+impl FlashTable {
+    /// Number of rows.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Pages occupied.
+    pub fn pages(&self, page_size: usize) -> u64 {
+        self.layout.pages_for(self.rows, page_size)
+    }
+
+    /// Bytes of live data.
+    pub fn bytes(&self) -> u64 {
+        self.rows * self.layout.size() as u64
+    }
+
+    /// Backing segment (to free temporaries).
+    pub fn segment(&self) -> Segment {
+        self.segment
+    }
+
+    /// Random access: read row `row` into `out` (one page load, row bytes).
+    pub fn read_row(&self, dev: &mut FlashDevice, row: u64, out: &mut [u8]) -> Result<()> {
+        if row >= self.rows {
+            return Err(StorageError::RowOutOfRange {
+                row,
+                rows: self.rows,
+            });
+        }
+        let (page, off) = self.layout.locate(row, dev.page_size());
+        dev.read(self.segment.lpn(page)?, off, &mut out[..self.layout.size()])?;
+        Ok(())
+    }
+
+    /// Open a streaming reader (one RAM buffer).
+    pub fn reader(&self, ram: &RamArena, page_size: usize) -> Result<FlashTableReader> {
+        Ok(FlashTableReader {
+            table: self.clone(),
+            buf: ram.alloc()?,
+            buffered_page: None,
+            pos: 0,
+            page_size,
+        })
+    }
+
+    /// Bulk-load `n_rows` rows produced by a fill callback (build path:
+    /// assembles page images host-side, charges sequential page writes).
+    pub fn bulk_load_with(
+        dev: &mut FlashDevice,
+        alloc: &mut SegmentAllocator,
+        layout: RowLayout,
+        n_rows: u64,
+        mut fill: impl FnMut(u64, &mut [u8]),
+    ) -> Result<FlashTable> {
+        let page_size = dev.page_size();
+        let rpp = layout.rows_per_page(page_size) as u64;
+        let pages = layout.pages_for(n_rows, page_size);
+        let segment = alloc.alloc(pages)?;
+        let size = layout.size();
+        let mut image = vec![0u8; page_size];
+        let mut row = 0u64;
+        let mut page = 0u64;
+        while row < n_rows {
+            let on_page = rpp.min(n_rows - row);
+            for i in 0..on_page {
+                fill(row + i, &mut image[i as usize * size..(i as usize + 1) * size]);
+            }
+            dev.write(segment.lpn(page)?, &image[..on_page as usize * size])?;
+            row += on_page;
+            page += 1;
+        }
+        Ok(FlashTable {
+            layout,
+            segment,
+            rows: n_rows,
+        })
+    }
+
+    /// Bulk-load from host-side rows (build path, sequential writes).
+    pub fn bulk_load<'a>(
+        dev: &mut FlashDevice,
+        alloc: &mut SegmentAllocator,
+        layout: RowLayout,
+        rows: impl ExactSizeIterator<Item = &'a [u8]>,
+    ) -> Result<FlashTable> {
+        let n = rows.len() as u64;
+        let page_size = dev.page_size();
+        let rpp = layout.rows_per_page(page_size);
+        let pages = layout.pages_for(n, page_size);
+        let segment = alloc.alloc(pages)?;
+        let mut image = vec![0u8; page_size];
+        let mut in_page = 0usize;
+        let mut page = 0u64;
+        let size = layout.size();
+        for row in rows {
+            debug_assert_eq!(row.len(), size);
+            image[in_page * size..(in_page + 1) * size].copy_from_slice(row);
+            in_page += 1;
+            if in_page == rpp {
+                dev.write(segment.lpn(page)?, &image[..in_page * size])?;
+                page += 1;
+                in_page = 0;
+            }
+        }
+        if in_page > 0 {
+            dev.write(segment.lpn(page)?, &image[..in_page * size])?;
+        }
+        Ok(FlashTable {
+            layout,
+            segment,
+            rows: n,
+        })
+    }
+}
+
+/// Streaming writer for a new row table (one RAM buffer, sequential pages).
+#[derive(Debug)]
+pub struct FlashTableWriter {
+    layout: RowLayout,
+    segment: Segment,
+    buf: RamBuffer,
+    in_page: usize,
+    next_page: u64,
+    rows: u64,
+    page_size: usize,
+}
+
+impl FlashTableWriter {
+    /// Create a writer for up to `max_rows` rows.
+    pub fn create(
+        alloc: &mut SegmentAllocator,
+        ram: &RamArena,
+        layout: RowLayout,
+        max_rows: u64,
+        page_size: usize,
+    ) -> Result<Self> {
+        let pages = layout.pages_for(max_rows, page_size);
+        let segment = alloc.alloc(pages)?;
+        Ok(FlashTableWriter {
+            layout,
+            segment,
+            buf: ram.alloc()?,
+            in_page: 0,
+            next_page: 0,
+            rows: 0,
+            page_size,
+        })
+    }
+
+    /// Append one row.
+    pub fn push(&mut self, dev: &mut FlashDevice, row: &[u8]) -> Result<()> {
+        let size = self.layout.size();
+        debug_assert_eq!(row.len(), size);
+        let rpp = self.layout.rows_per_page(self.page_size);
+        if self.in_page == rpp {
+            self.flush(dev)?;
+        }
+        self.buf[self.in_page * size..(self.in_page + 1) * size].copy_from_slice(row);
+        self.in_page += 1;
+        self.rows += 1;
+        Ok(())
+    }
+
+    fn flush(&mut self, dev: &mut FlashDevice) -> Result<()> {
+        if self.in_page == 0 {
+            return Ok(());
+        }
+        let used = self.in_page * self.layout.size();
+        dev.write(self.segment.lpn(self.next_page)?, &self.buf[..used])?;
+        self.next_page += 1;
+        self.in_page = 0;
+        Ok(())
+    }
+
+    /// Finish and return the table.
+    pub fn finish(mut self, dev: &mut FlashDevice) -> Result<FlashTable> {
+        self.flush(dev)?;
+        Ok(FlashTable {
+            layout: self.layout.clone(),
+            segment: self.segment,
+            rows: self.rows,
+        })
+    }
+}
+
+/// Streaming reader over a row table, with ascending random skip support
+/// (key semi-join access pattern: each needed page loaded once).
+#[derive(Debug)]
+pub struct FlashTableReader {
+    table: FlashTable,
+    buf: RamBuffer,
+    buffered_page: Option<u64>,
+    pos: u64,
+    page_size: usize,
+}
+
+impl FlashTableReader {
+    /// Total rows.
+    pub fn rows(&self) -> u64 {
+        self.table.rows
+    }
+
+    /// Read row `row` (must be ≥ previously requested rows) and return a
+    /// view of it. Pages are each loaded at most once thanks to ascending
+    /// access.
+    pub fn row_at(&mut self, dev: &mut FlashDevice, row: u64) -> Result<&[u8]> {
+        if row >= self.table.rows {
+            return Err(StorageError::RowOutOfRange {
+                row,
+                rows: self.table.rows,
+            });
+        }
+        if row < self.pos {
+            return Err(StorageError::Corrupt(format!(
+                "FlashTableReader going backwards: {row} after {}",
+                self.pos
+            )));
+        }
+        self.pos = row;
+        let (page, off) = self.table.layout.locate(row, self.page_size);
+        if self.buffered_page != Some(page) {
+            let rpp = self.table.layout.rows_per_page(self.page_size) as u64;
+            let rows_on_page =
+                ((self.table.rows - page * rpp) as usize).min(rpp as usize);
+            let used = rows_on_page * self.table.layout.size();
+            dev.read(self.table.segment.lpn(page)?, 0, &mut self.buf[..used])?;
+            self.buffered_page = Some(page);
+        }
+        Ok(&self.buf[off..off + self.table.layout.size()])
+    }
+
+    /// Next row in sequence, or `None` at the end.
+    pub fn next_row(&mut self, dev: &mut FlashDevice) -> Result<Option<&[u8]>> {
+        if self.pos >= self.table.rows {
+            return Ok(None);
+        }
+        let row = self.pos;
+        self.pos += 1;
+        // Re-borrow via row_at's logic without the monotonicity bump.
+        let (page, off) = self.table.layout.locate(row, self.page_size);
+        if self.buffered_page != Some(page) {
+            let rpp = self.table.layout.rows_per_page(self.page_size) as u64;
+            let rows_on_page =
+                ((self.table.rows - page * rpp) as usize).min(rpp as usize);
+            let used = rows_on_page * self.table.layout.size();
+            dev.read(self.table.segment.lpn(page)?, 0, &mut self.buf[..used])?;
+            self.buffered_page = Some(page);
+        }
+        Ok(Some(&self.buf[off..off + self.table.layout.size()]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_flash::{FlashGeometry, FlashTiming};
+
+    fn setup() -> (FlashDevice, SegmentAllocator, RamArena) {
+        let dev = FlashDevice::new(
+            FlashGeometry::for_capacity(8 * 1024 * 1024),
+            FlashTiming::default(),
+        );
+        let alloc = SegmentAllocator::new(dev.logical_pages());
+        let ram = RamArena::paper_default();
+        (dev, alloc, ram)
+    }
+
+    #[test]
+    fn hidden_column_roundtrip() {
+        let (mut dev, mut alloc, ram) = setup();
+        let values: Vec<Value> = (0..5000).map(|i| Value::Int(i * 7)).collect();
+        let col = HiddenColumn::bulk_load(
+            &mut dev,
+            &mut alloc,
+            "h1",
+            ColumnType::Int { width: 8 },
+            &values,
+        )
+        .unwrap();
+        assert_eq!(col.rows(), 5000);
+        assert_eq!(col.get(&mut dev, 4999).unwrap(), Value::Int(4999 * 7));
+        assert_eq!(col.get(&mut dev, 0).unwrap(), Value::Int(0));
+        assert!(col.get(&mut dev, 5000).is_err());
+        let mut scan = col.scan(&ram, dev.page_size()).unwrap();
+        for i in 0..5000 {
+            assert_eq!(
+                scan.next_value(&mut dev).unwrap(),
+                Some(Value::Int(i * 7)),
+                "row {i}"
+            );
+        }
+        assert_eq!(scan.next_value(&mut dev).unwrap(), None);
+    }
+
+    #[test]
+    fn selective_scan_loads_each_page_once() {
+        let (mut dev, mut alloc, ram) = setup();
+        let values: Vec<Value> = (0..2048).map(Value::Int).collect();
+        let col = HiddenColumn::bulk_load(
+            &mut dev,
+            &mut alloc,
+            "h",
+            ColumnType::Int { width: 8 },
+            &values,
+        )
+        .unwrap();
+        let snap = dev.snapshot();
+        let mut scan = col.selective_scan(&ram, dev.page_size()).unwrap();
+        // 8-byte vals, 256 per page; probe two rows per page.
+        for row in (0..2048u32).step_by(128) {
+            let v = scan.value_at(&mut dev, row).unwrap();
+            assert_eq!(v, Value::Int(row as i64));
+        }
+        let d = dev.stats_since(&snap);
+        assert_eq!(d.pages_read, 8, "each of the 8 pages loaded exactly once");
+        // Backwards access is rejected.
+        assert!(scan.value_at(&mut dev, 0).is_err());
+    }
+
+    #[test]
+    fn flash_table_writer_reader_roundtrip() {
+        let (mut dev, mut alloc, ram) = setup();
+        let layout = RowLayout::ids(3);
+        let mut w =
+            FlashTableWriter::create(&mut alloc, &ram, layout.clone(), 1000, dev.page_size())
+                .unwrap();
+        for i in 0..1000u32 {
+            let mut row = vec![0u8; layout.size()];
+            layout.put_id(&mut row, 0, i);
+            layout.put_id(&mut row, 1, i * 2);
+            layout.put_id(&mut row, 2, i * 3);
+            w.push(&mut dev, &row).unwrap();
+        }
+        let table = w.finish(&mut dev).unwrap();
+        assert_eq!(table.rows(), 1000);
+        let mut r = table.reader(&ram, dev.page_size()).unwrap();
+        let mut i = 0u32;
+        while let Some(row) = r.next_row(&mut dev).unwrap() {
+            assert_eq!(layout.get_id(row, 1), i * 2);
+            i += 1;
+        }
+        assert_eq!(i, 1000);
+    }
+
+    #[test]
+    fn flash_table_skip_access() {
+        let (mut dev, mut alloc, ram) = setup();
+        let layout = RowLayout::ids(2);
+        let rows: Vec<Vec<u8>> = (0..500u32)
+            .map(|i| {
+                let mut row = vec![0u8; 8];
+                layout.put_id(&mut row, 0, i);
+                layout.put_id(&mut row, 1, 1000 + i);
+                row
+            })
+            .collect();
+        let table = FlashTable::bulk_load(
+            &mut dev,
+            &mut alloc,
+            layout.clone(),
+            rows.iter().map(|r| r.as_slice()),
+        )
+        .unwrap();
+        let mut r = table.reader(&ram, dev.page_size()).unwrap();
+        for probe in [3u64, 100, 101, 499] {
+            let row = r.row_at(&mut dev, probe).unwrap();
+            assert_eq!(layout.get_id(row, 1) as u64, 1000 + probe);
+        }
+        assert!(r.row_at(&mut dev, 2).is_err(), "backwards rejected");
+        assert!(r.row_at(&mut dev, 500).is_err(), "out of range rejected");
+    }
+
+    #[test]
+    fn random_row_read() {
+        let (mut dev, mut alloc, _ram) = setup();
+        let layout = RowLayout::ids(1);
+        let rows: Vec<Vec<u8>> = (0..300u32).map(|i| (i * 5).to_le_bytes().to_vec()).collect();
+        let table = FlashTable::bulk_load(
+            &mut dev,
+            &mut alloc,
+            layout.clone(),
+            rows.iter().map(|r| r.as_slice()),
+        )
+        .unwrap();
+        let mut out = vec![0u8; 4];
+        table.read_row(&mut dev, 123, &mut out).unwrap();
+        assert_eq!(layout.get_id(&out, 0), 123 * 5);
+    }
+
+    #[test]
+    fn hidden_image_lookup() {
+        let (mut dev, mut alloc, _ram) = setup();
+        let c1 = HiddenColumn::bulk_load(
+            &mut dev,
+            &mut alloc,
+            "h1",
+            ColumnType::int(),
+            &[Value::Int(1)],
+        )
+        .unwrap();
+        let image = HiddenImage {
+            columns: vec![c1],
+            rows: 1,
+        };
+        assert!(image.column("h1").is_ok());
+        assert!(image.column("nope").is_err());
+        assert_eq!(image.bytes(), 4);
+    }
+}

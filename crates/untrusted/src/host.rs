@@ -1,0 +1,168 @@
+//! The `Vis` operator's PC half: evaluate visible predicates, ship sorted
+//! ids (and optionally visible values) into the token over the channel.
+
+use crate::store::VisibleStore;
+use ghostdb_storage::{Id, Predicate, Result, TableId, Value, ID_BYTES};
+use ghostdb_token::Channel;
+
+/// What a `Vis(Q, T, π)` call delivered into the token.
+///
+/// The payload conceptually streams through the token's dedicated channel
+/// buffer (§3.4: "a specific buffer is dedicated to the communication
+/// channel … no RAM consumption"), so operators may iterate it without
+/// charging the RAM arena; its transfer cost is charged to the channel at
+/// ship time.
+#[derive(Debug, Clone)]
+pub struct VisShipment {
+    /// Table the shipment is about.
+    pub table: TableId,
+    /// Sorted ids satisfying the visible predicates.
+    pub ids: Vec<Id>,
+    /// Projected visible columns (parallel to `ids`), in request order.
+    pub columns: Vec<(String, Vec<Value>)>,
+}
+
+impl VisShipment {
+    /// Wire size in bytes: 4 bytes per id plus the fixed column widths.
+    pub fn wire_bytes(&self, widths: &[usize]) -> u64 {
+        let per_row: usize = ID_BYTES + widths.iter().sum::<usize>();
+        self.ids.len() as u64 * per_row as u64
+    }
+}
+
+/// The Untrusted PC: visible store + the sending end of the channel.
+#[derive(Debug)]
+pub struct UntrustedHost {
+    store: VisibleStore,
+}
+
+impl UntrustedHost {
+    /// Host over a loaded visible store.
+    pub fn new(store: VisibleStore) -> Self {
+        UntrustedHost { store }
+    }
+
+    /// The underlying store (read-only).
+    pub fn store(&self) -> &VisibleStore {
+        &self.store
+    }
+
+    /// Receive the query (PC → token metadata transfer; this is the *only*
+    /// thing the token ever acknowledges back, and the only flow a snooper
+    /// sees leaving the PC besides visible data).
+    pub fn submit_query(&self, channel: &mut Channel, query_text: &str) {
+        channel.send_to_secure("query", query_text.as_bytes());
+    }
+
+    /// `Vis(Q, T, π)`: evaluate all visible predicates of `Q` on `T`, ship
+    /// the sorted id list plus the values of the `π` columns.
+    ///
+    /// The transfer is recorded on the channel with a tag naming the table
+    /// and projection so the transcript is self-describing.
+    pub fn vis(
+        &self,
+        channel: &mut Channel,
+        table: TableId,
+        table_name: &str,
+        preds: &[Predicate],
+        projection: &[String],
+    ) -> Result<VisShipment> {
+        let ids = self.store.select(table, preds)?;
+        let rows = self.store.project(table, &ids, projection)?;
+        let mut columns: Vec<(String, Vec<Value>)> = projection
+            .iter()
+            .map(|c| (c.clone(), Vec::with_capacity(ids.len())))
+            .collect();
+        for row in rows {
+            for (slot, v) in columns.iter_mut().zip(row) {
+                slot.1.push(v);
+            }
+        }
+        // Serialise for the wire: ids then column values, fixed widths.
+        let vis_table = self.store.table(table);
+        let mut payload = Vec::with_capacity(ids.len() * ID_BYTES);
+        for id in &ids {
+            payload.extend_from_slice(&id.to_le_bytes());
+        }
+        for (name, values) in &columns {
+            let ty = vis_table.column(name)?.ty;
+            let mut buf = vec![0u8; ty.width()];
+            for v in values {
+                v.encode(&ty, &mut buf)?;
+                payload.extend_from_slice(&buf);
+            }
+        }
+        let tag = if projection.is_empty() {
+            format!("Vis({table_name}).ids")
+        } else {
+            format!("Vis({table_name}).ids+{}", projection.join("+"))
+        };
+        channel.send_to_secure(&tag, &payload);
+        Ok(VisShipment {
+            table,
+            ids,
+            columns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{VisibleColumn, VisibleTable};
+    use ghostdb_storage::{CmpOp, ColumnType};
+
+    fn host() -> UntrustedHost {
+        let mut s = VisibleStore::new(1);
+        s.set_table(
+            0,
+            VisibleTable {
+                columns: vec![VisibleColumn::from_gen("v1", ColumnType::char(10), 100, |i| {
+                    Value::Str(format!("{i:09}"))
+                })
+                .expect("column")],
+                rows: 100,
+            },
+        );
+        UntrustedHost::new(s)
+    }
+
+    #[test]
+    fn vis_ships_ids_and_values_with_exact_byte_count() {
+        let h = host();
+        let mut ch = Channel::usb_full_speed();
+        let preds = [Predicate::new(
+            "v1",
+            CmpOp::Lt,
+            Value::Str("000000010".into()),
+            None,
+        )];
+        let shipment = h
+            .vis(&mut ch, 0, "T1", &preds, &["v1".to_string()])
+            .unwrap();
+        assert_eq!(shipment.ids, (0..10).collect::<Vec<u32>>());
+        assert_eq!(shipment.columns[0].1.len(), 10);
+        // 10 rows × (4 id + 10 char) = 140 bytes on the wire.
+        assert_eq!(ch.bytes_to_secure(), 140);
+        assert_eq!(ch.transcript().len(), 1);
+        assert!(ch.transcript()[0].tag.contains("Vis(T1)"));
+    }
+
+    #[test]
+    fn ids_only_shipment() {
+        let h = host();
+        let mut ch = Channel::usb_full_speed();
+        let shipment = h.vis(&mut ch, 0, "T1", &[], &[]).unwrap();
+        assert_eq!(shipment.ids.len(), 100);
+        assert_eq!(ch.bytes_to_secure(), 400);
+    }
+
+    #[test]
+    fn query_submission_is_the_only_outbound_flow() {
+        let h = host();
+        let mut ch = Channel::usb_full_speed();
+        h.submit_query(&mut ch, "SELECT T0.id FROM T0");
+        assert_eq!(ch.bytes_to_secure(), 20);
+        assert_eq!(ch.bytes_to_untrusted(), 0);
+    }
+}

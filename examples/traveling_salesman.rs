@@ -1,0 +1,86 @@
+//! Bob the traveling salesman (paper §1): corporate data on an untrusted
+//! customer PC. The public product catalog is visible; customer identities,
+//! negotiated discounts and the order links between them live only on
+//! Bob's USB key.
+//!
+//! ```text
+//! cargo run --example traveling_salesman
+//! ```
+
+use ghostdb_core::{GhostDb, GhostDbConfig};
+use ghostdb_storage::Value;
+
+fn main() {
+    let mut db = GhostDb::new(GhostDbConfig {
+        capture_channel: true,
+        ..Default::default()
+    });
+
+    // Public product catalog.
+    db.execute(
+        "CREATE TABLE Products (id INT, label CHAR(30), list_price INT, \
+         spec_sheet CHAR(60) HIDDEN)",
+    )
+    .expect("DDL Products");
+    // Customers: identity hidden.
+    db.execute(
+        "CREATE TABLE Customers (id INT, region CHAR(12), name CHAR(30) HIDDEN, \
+         discount_pct INT HIDDEN)",
+    )
+    .expect("DDL Customers");
+    // Orders: the links are the sensitive part — both foreign keys hidden
+    // (the §2.1 design guideline).
+    db.execute(
+        "CREATE TABLE Orders (id INT, \
+         customer_id INT HIDDEN REFERENCES Customers, \
+         product_id INT HIDDEN REFERENCES Products, \
+         quarter CHAR(6), quantity INT)",
+    )
+    .expect("DDL Orders");
+
+    db.insert_rows(
+        "Products",
+        vec![
+            vec![Value::Str("Turbine blade".into()), Value::Int(1200), Value::Str("alloy spec A7".into())],
+            vec![Value::Str("Control unit".into()), Value::Int(800), Value::Str("firmware rev 9".into())],
+            vec![Value::Str("Gearbox".into()), Value::Int(2500), Value::Str("ratio 1:7.3".into())],
+        ],
+    )
+    .expect("load products");
+    db.insert_rows(
+        "Customers",
+        vec![
+            vec![Value::Str("north".into()), Value::Str("Aurora Industries".into()), Value::Int(12)],
+            vec![Value::Str("north".into()), Value::Str("Borealis Ltd".into()), Value::Int(7)],
+            vec![Value::Str("south".into()), Value::Str("Cumulus GmbH".into()), Value::Int(15)],
+        ],
+    )
+    .expect("load customers");
+    let orders: Vec<Vec<Value>> = (0..24)
+        .map(|i| {
+            vec![
+                Value::Int(i % 3),                      // customer
+                Value::Int((i * 7) % 3),                // product
+                Value::Str(format!("2026Q{}", i % 4 + 1)),
+                Value::Int(1 + i % 5),
+            ]
+        })
+        .collect();
+    db.insert_rows("Orders", orders).expect("load orders");
+
+    // On the customer's PC, Bob asks: which Q1 orders involve customers
+    // with a discount above 10% — and what did we promise them?
+    let sql = "SELECT Orders.id, Customers.name, Customers.discount_pct, Products.label \
+               FROM Orders, Customers, Products \
+               WHERE Orders.customer_id = Customers.id AND Orders.product_id = Products.id \
+               AND Orders.quarter = '2026Q1' AND Customers.discount_pct > 10";
+    println!("query: {sql}\n");
+    let result = db.query(sql).expect("query");
+    println!("{result}\n");
+
+    let audit = db.audit().expect("audit");
+    println!("{audit}");
+    assert!(audit.ok);
+    println!("Customer names and discounts were combined with the public catalog —");
+    println!("yet only visible columns (quarter, catalog rows) ever crossed the wire.");
+}

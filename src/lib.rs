@@ -1,0 +1,13 @@
+//! Umbrella crate for the GhostDB reproduction workspace.
+//!
+//! This package only hosts the runnable [examples](../examples) and the
+//! cross-crate integration tests (`tests/`). The library surface users should
+//! depend on is [`ghostdb_core`]; it is re-exported here for convenience so
+//! examples can write `use ghostdb_repro::prelude::*;`.
+
+pub use ghostdb_core as core;
+
+/// Convenience re-exports for examples and integration tests.
+pub mod prelude {
+    pub use ghostdb_core::{GhostDb, GhostDbConfig, QueryOptions, Strategy};
+}

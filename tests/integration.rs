@@ -1,0 +1,247 @@
+//! Cross-crate integration tests: the full GhostDB stack (datagen →
+//! storage/index/exec → core) against the trusted reference oracle.
+
+use ghostdb_datagen::{SyntheticDataset, SyntheticSpec};
+use ghostdb_exec::project::ProjectAlgo;
+use ghostdb_exec::strategy::VisStrategy;
+use ghostdb_exec::{ExecOptions, Executor, SpjQuery};
+use ghostdb_reference::RefQuery;
+use ghostdb_storage::{CmpOp, Predicate};
+
+fn dataset() -> SyntheticDataset {
+    let mut spec = SyntheticSpec::small(); // T0 = 2000
+    spec.indexed = vec![
+        ("T12".into(), "h2".into()),
+        ("T0".into(), "h1".into()),
+        ("T1".into(), "h1".into()),
+        ("T2".into(), "h1".into()),
+        ("T11".into(), "h1".into()),
+    ];
+    SyntheticDataset::generate(spec)
+}
+
+fn check(
+    ds: &SyntheticDataset,
+    db: &mut ghostdb_exec::Database,
+    q: &SpjQuery,
+    rq: &RefQuery,
+    opts: &ExecOptions,
+    label: &str,
+) {
+    let (rs, report) = Executor::run(db, q, opts).expect(label);
+    let expect = ds.ref_db().run(rq).expect("oracle");
+    assert_eq!(rs.rows, expect, "{label}: rows diverge from the oracle");
+    assert!(
+        report.peak_ram_buffers <= db.token.ram.capacity(),
+        "{label}: RAM budget exceeded"
+    );
+}
+
+#[test]
+fn paper_query_q_all_strategies_match_oracle() {
+    let ds = dataset();
+    let mut db = ds.build().expect("build");
+    let t0 = db.schema.root();
+    let t1 = db.schema.table_id("T1").unwrap();
+    let t12 = db.schema.table_id("T12").unwrap();
+    for sv in [0.01, 0.2, 0.6] {
+        let vis = ds.selectivity_pred("T1", "v1", sv);
+        let hid = ds.selectivity_pred("T12", "h2", 0.1);
+        let mut q = SpjQuery::new()
+            .pred(t1, vis.clone())
+            .pred(t12, hid.clone())
+            .project(t0, "id")
+            .project(t1, "id")
+            .project(t1, "v1")
+            .project(t12, "h2");
+        q.text = format!("Q sv={sv}");
+        let rq = RefQuery {
+            predicates: vec![(t1, vis), (t12, hid)],
+            projections: vec![
+                (t0, "id".into()),
+                (t1, "id".into()),
+                (t1, "v1".into()),
+                (t12, "h2".into()),
+            ],
+        };
+        for strategy in [
+            VisStrategy::Pre,
+            VisStrategy::CrossPre,
+            VisStrategy::Post,
+            VisStrategy::CrossPost,
+            VisStrategy::PostSelect,
+            VisStrategy::NoFilter,
+        ] {
+            check(
+                &ds,
+                &mut db,
+                &q,
+                &rq,
+                &ExecOptions {
+                    forced_strategy: Some(strategy),
+                    ..Default::default()
+                },
+                &format!("sv={sv} {}", strategy.name()),
+            );
+        }
+        for algo in [ProjectAlgo::ProjectNoBf, ProjectAlgo::BruteForce] {
+            check(
+                &ds,
+                &mut db,
+                &q,
+                &rq,
+                &ExecOptions {
+                    project: Some(algo),
+                    ..Default::default()
+                },
+                &format!("sv={sv} {}", algo.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_table_predicates_match_oracle() {
+    let ds = dataset();
+    let mut db = ds.build().expect("build");
+    let t0 = db.schema.root();
+    let t1 = db.schema.table_id("T1").unwrap();
+    let t2 = db.schema.table_id("T2").unwrap();
+    let t12 = db.schema.table_id("T12").unwrap();
+    // Three selections across the tree: visible on T1, hidden on T12 and T2.
+    let p_vis = ds.selectivity_pred("T1", "v1", 0.3);
+    let p_h12 = ds.selectivity_pred("T12", "h2", 0.4);
+    let p_h2 = ds.selectivity_pred("T2", "h1", 0.5);
+    let mut q = SpjQuery::new()
+        .pred(t1, p_vis.clone())
+        .pred(t12, p_h12.clone())
+        .pred(t2, p_h2.clone())
+        .project(t0, "id")
+        .project(t2, "id");
+    q.text = "multi".into();
+    let rq = RefQuery {
+        predicates: vec![(t1, p_vis), (t12, p_h12), (t2, p_h2)],
+        projections: vec![(t0, "id".into()), (t2, "id".into())],
+    };
+    check(&ds, &mut db, &q, &rq, &ExecOptions::auto(), "auto multi");
+}
+
+#[test]
+fn root_range_and_projection_match_oracle() {
+    let ds = dataset();
+    let mut db = ds.build().expect("build");
+    let t0 = db.schema.root();
+    let lo = ghostdb_datagen::pad8(100);
+    let hi = ghostdb_datagen::pad8(600);
+    let pred = Predicate::new("h1", CmpOp::Between, lo, Some(hi));
+    let mut q = SpjQuery::new()
+        .pred(t0, pred.clone())
+        .project(t0, "id")
+        .project(t0, "v1")
+        .project(t0, "h1");
+    q.text = "root range".into();
+    let rq = RefQuery {
+        predicates: vec![(t0, pred)],
+        projections: vec![(t0, "id".into()), (t0, "v1".into()), (t0, "h1".into())],
+    };
+    check(&ds, &mut db, &q, &rq, &ExecOptions::auto(), "root range");
+}
+
+#[test]
+fn projection_only_query_returns_every_root_tuple() {
+    let ds = dataset();
+    let mut db = ds.build().expect("build");
+    let t0 = db.schema.root();
+    let t11 = db.schema.table_id("T11").unwrap();
+    let mut q = SpjQuery::new().project(t0, "id").project(t11, "v1");
+    q.text = "no preds".into();
+    let (rs, _) = Executor::run(&mut db, &q, &ExecOptions::auto()).unwrap();
+    assert_eq!(rs.rows.len() as u64, db.rows[t0]);
+    let expect = ds
+        .ref_db()
+        .run(&RefQuery {
+            predicates: vec![],
+            projections: vec![(t0, "id".into()), (t11, "v1".into())],
+        })
+        .unwrap();
+    assert_eq!(rs.rows, expect);
+}
+
+#[test]
+fn channel_transcript_is_clean_for_every_strategy() {
+    let ds = dataset();
+    let mut db = ds.build().expect("build");
+    db.token.channel.set_capture(true);
+    let t0 = db.schema.root();
+    let t1 = db.schema.table_id("T1").unwrap();
+    let t12 = db.schema.table_id("T12").unwrap();
+    let mut q = SpjQuery::new()
+        .pred(t1, ds.selectivity_pred("T1", "v1", 0.1))
+        .pred(t12, ds.selectivity_pred("T12", "h2", 0.1))
+        .project(t0, "id")
+        .project(t1, "v1");
+    q.text = "audited".into();
+    for strategy in [
+        VisStrategy::Pre,
+        VisStrategy::CrossPre,
+        VisStrategy::Post,
+        VisStrategy::CrossPost,
+        VisStrategy::NoFilter,
+    ] {
+        Executor::run(
+            &mut db,
+            &q,
+            &ExecOptions {
+                forced_strategy: Some(strategy),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let report = ghostdb_core::audit_transcript(db.token.channel.transcript());
+        assert!(report.ok, "{}: {report}", strategy.name());
+    }
+}
+
+#[test]
+fn simulated_time_is_deterministic() {
+    let ds = dataset();
+    let mut db1 = ds.build().expect("build 1");
+    let mut db2 = ds.build().expect("build 2");
+    let t0 = db1.schema.root();
+    let t12 = db1.schema.table_id("T12").unwrap();
+    let mut q = SpjQuery::new()
+        .pred(t12, ds.selectivity_pred("T12", "h2", 0.2))
+        .project(t0, "id");
+    q.text = "determinism".into();
+    let (_, r1) = Executor::run(&mut db1, &q, &ExecOptions::auto()).unwrap();
+    let (_, r2) = Executor::run(&mut db2, &q, &ExecOptions::auto()).unwrap();
+    assert_eq!(r1.total(), r2.total());
+    assert_eq!(r1.io, r2.io);
+}
+
+#[test]
+fn queries_can_be_rerun_on_the_same_database() {
+    // Temp segments must be reclaimed between queries: run many queries on
+    // one instance and verify flash space does not leak.
+    let ds = dataset();
+    let mut db = ds.build().expect("build");
+    let t0 = db.schema.root();
+    let t1 = db.schema.table_id("T1").unwrap();
+    let t12 = db.schema.table_id("T12").unwrap();
+    let free_before = db.alloc.free_pages();
+    for round in 0..10 {
+        let sv = 0.05 + 0.05 * (round % 4) as f64;
+        let mut q = SpjQuery::new()
+            .pred(t1, ds.selectivity_pred("T1", "v1", sv))
+            .pred(t12, ds.selectivity_pred("T12", "h2", 0.1))
+            .project(t0, "id")
+            .project(t1, "v1");
+        q.text = format!("round {round}");
+        Executor::run(&mut db, &q, &ExecOptions::auto()).unwrap();
+    }
+    assert_eq!(
+        db.alloc.free_pages(),
+        free_before,
+        "temp segments leaked across queries"
+    );
+}
