@@ -24,12 +24,9 @@ fn bench_queries(c: &mut Criterion) {
     group.bench_function("sv0.05/auto_with_projection", |b| {
         let q = query_q(&ds, &db, 0.05, true);
         b.iter(|| {
-            let (_, report) = ghostdb_exec::Executor::run(
-                &mut db,
-                &q,
-                &ghostdb_exec::ExecOptions::auto(),
-            )
-            .unwrap();
+            let (_, report) =
+                ghostdb_exec::Executor::run(&mut db, &q, &ghostdb_exec::ExecOptions::auto())
+                    .unwrap();
             report.result_rows
         });
     });

@@ -12,30 +12,69 @@
 use ghostdb_bench::*;
 use ghostdb_exec::strategy::VisStrategy;
 
+const USAGE: &str = "\
+repro — regenerate the GhostDB paper evaluation (§6)
+
+USAGE:
+    repro [--scale F] [--medical-scale F] [--figure WHICH]
+
+OPTIONS:
+    --scale F          synthetic dataset scale, 1.0 = paper scale, T0 = 10M
+                       tuples (default 0.1)
+    --medical-scale F  medical dataset scale (default 1.0)
+    --figure WHICH     all|7|8|9|10|11|12|13|14|15|16|table1 (default all)
+    -h, --help         print this help and exit
+
+Reported times are simulated times from the Table 1 cost model and are
+deterministic across runs.";
+
+const FIGURES: [&str; 12] = [
+    "all", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "table1",
+];
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
 fn parse_args() -> (f64, f64, String) {
     let mut scale = 0.1f64;
     let mut med_scale = 1.0f64;
     let mut figure = "all".to_string();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
+    let value_of = |args: &[String], i: usize| -> String {
+        match args.get(i + 1) {
+            Some(v) => v.clone(),
+            None => usage_error(&format!("{} requires a value", args[i])),
+        }
+    };
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
             "--scale" => {
-                scale = args[i + 1].parse().expect("bad --scale");
+                scale = value_of(&args, i)
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("bad --scale (expected a number)"));
                 i += 2;
             }
             "--medical-scale" => {
-                med_scale = args[i + 1].parse().expect("bad --medical-scale");
+                med_scale = value_of(&args, i)
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("bad --medical-scale (expected a number)"));
                 i += 2;
             }
             "--figure" => {
-                figure = args[i + 1].clone();
+                figure = value_of(&args, i);
+                if !FIGURES.contains(&figure.as_str()) {
+                    usage_error(&format!("unknown figure {figure:?}"));
+                }
                 i += 2;
             }
-            other => {
-                eprintln!("unknown argument {other}");
-                std::process::exit(2);
-            }
+            other => usage_error(&format!("unknown argument {other}")),
         }
     }
     (scale, med_scale, figure)
@@ -43,11 +82,7 @@ fn parse_args() -> (f64, f64, String) {
 
 fn print_sweep(title: &str, xlabel: &str, points: &[SweepPoint]) {
     println!("\n== {title} ==");
-    let names: Vec<&str> = points[0]
-        .series
-        .iter()
-        .map(|(n, _)| n.as_str())
-        .collect();
+    let names: Vec<&str> = points[0].series.iter().map(|(n, _)| n.as_str()).collect();
     print!("{xlabel:>10}");
     for n in &names {
         print!(" {n:>20}");
@@ -76,7 +111,10 @@ fn main() {
     if want(&figure, "7") {
         let (sweep, dbsize) = figure7();
         println!("\n== Figure 7: storage cost of the indexing schemes (MB, paper-scale model) ==");
-        println!("{:>22} {:>12} {:>12} {:>12} {:>12} {:>12}", "x (hidden attrs/table)", "FullIndex", "BasicIndex", "StarIndex", "JoinIndex", "DBSize");
+        println!(
+            "{:>22} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "x (hidden attrs/table)", "FullIndex", "BasicIndex", "StarIndex", "JoinIndex", "DBSize"
+        );
         for (x, schemes) in &sweep {
             print!("{x:>22}");
             for (_, mb) in schemes {
@@ -86,7 +124,13 @@ fn main() {
         }
         println!("\n-- Figure 7 (real/medical dataset sizes, MB) --");
         let med = figure7_medical();
-        let labels = ["FullIndex", "BasicIndex", "StarIndex", "JoinIndex", "DBSize"];
+        let labels = [
+            "FullIndex",
+            "BasicIndex",
+            "StarIndex",
+            "JoinIndex",
+            "DBSize",
+        ];
         for (label, (_, mb)) in labels.iter().zip(&med) {
             println!("{label:>12}: {mb:>10.1} MB");
         }
@@ -149,11 +193,19 @@ fn main() {
         }
         if want(&figure, "12") {
             let pts = figure_projection(&ds, &mut db, VisStrategy::CrossPre);
-            print_sweep("Figure 12: Projection under Cross-Pre-Filtering", "sV", &pts);
+            print_sweep(
+                "Figure 12: Projection under Cross-Pre-Filtering",
+                "sV",
+                &pts,
+            );
         }
         if want(&figure, "13") {
             let pts = figure_projection(&ds, &mut db, VisStrategy::CrossPost);
-            print_sweep("Figure 13: Projection under Cross-Post-Filtering", "sV", &pts);
+            print_sweep(
+                "Figure 13: Projection under Cross-Post-Filtering",
+                "sV",
+                &pts,
+            );
         }
         if want(&figure, "14") {
             let pts = figure_throughput(&ds, &mut db);
@@ -172,10 +224,12 @@ fn main() {
             let mut mk_query = {
                 let queries = queries.clone();
                 move |sv: f64| {
-                    let idx = match sv {
-                        s if s == 0.01 => 0,
-                        s if s == 0.05 => 1,
-                        _ => 2,
+                    let idx = if sv == 0.01 {
+                        0
+                    } else if sv == 0.05 {
+                        1
+                    } else {
+                        2
                     };
                     queries[idx].clone()
                 }
@@ -188,7 +242,9 @@ fn main() {
     if want(&figure, "16") {
         eprintln!("building medical dataset (scale {med_scale})...");
         let (mds, mut mdb) = build_medical(med_scale);
-        println!("\n== Figure 16: cost decomposition, medical dataset (seconds, comm. excluded) ==");
+        println!(
+            "\n== Figure 16: cost decomposition, medical dataset (seconds, comm. excluded) =="
+        );
         let mut queries = Vec::new();
         for sv in [0.01, 0.05, 0.2] {
             queries.push(medical_q(&mds, &mdb, sv));
@@ -196,10 +252,12 @@ fn main() {
         let mut mk_query = {
             let queries = queries.clone();
             move |sv: f64| {
-                let idx = match sv {
-                    s if s == 0.01 => 0,
-                    s if s == 0.05 => 1,
-                    _ => 2,
+                let idx = if sv == 0.01 {
+                    0
+                } else if sv == 0.05 {
+                    1
+                } else {
+                    2
                 };
                 queries[idx].clone()
             }

@@ -139,9 +139,7 @@ pub fn figure_throughput(ds: &SyntheticDataset, db: &mut Database) -> Vec<SweepP
     let out = throughputs_mbps
         .iter()
         .map(|mbps| {
-            db.token
-                .channel
-                .set_throughput((mbps * 1_000_000.0) as u64);
+            db.token.channel.set_throughput((mbps * 1_000_000.0) as u64);
             let series = (1..=3usize)
                 .map(|k| {
                     let mut q = SpjQuery::new()
@@ -156,10 +154,7 @@ pub fn figure_throughput(ds: &SyntheticDataset, db: &mut Database) -> Vec<SweepP
                     (format!("Project{k}"), Some(report.total().as_secs()))
                 })
                 .collect();
-            SweepPoint {
-                x: *mbps,
-                series,
-            }
+            SweepPoint { x: *mbps, series }
         })
         .collect();
     db.token.channel.set_throughput(original);
@@ -174,7 +169,10 @@ pub fn figure_decomposition(
 ) -> Vec<(String, [(String, f64); 4])> {
     let mut out = Vec::new();
     for (label, sv) in [("1", 0.01), ("5", 0.05), ("20", 0.2)] {
-        for (tag, strategy) in [("PRE", VisStrategy::CrossPre), ("POST", VisStrategy::CrossPost)] {
+        for (tag, strategy) in [
+            ("PRE", VisStrategy::CrossPre),
+            ("POST", VisStrategy::CrossPost),
+        ] {
             let q = mk_query(sv);
             let report = run_with(db, &q, strategy, ProjectAlgo::Project);
             let buckets = report.fig15_buckets();
@@ -192,10 +190,13 @@ pub fn figure_decomposition(
     out
 }
 
+/// Storage size of each indexing scheme, in MB.
+pub type SchemeSizes = Vec<(IndexScheme, f64)>;
+
 /// Figure 7: index storage cost vs indexed hidden attributes per table, at
 /// the paper's full synthetic cardinalities (exact size model — nothing is
 /// built, so this always runs at paper scale).
-pub fn figure7() -> (Vec<(usize, Vec<(IndexScheme, f64)>)>, f64) {
+pub fn figure7() -> (Vec<(usize, SchemeSizes)>, f64) {
     let schema = paper_synthetic_schema(5, 5);
     let mut rows = vec![0u64; schema.len()];
     for (name, c) in [
@@ -234,7 +235,7 @@ pub fn figure7() -> (Vec<(usize, Vec<(IndexScheme, f64)>)>, f64) {
 
 /// Figure 7's real-dataset companion: index sizes on the medical schema at
 /// its §6.2 cardinalities.
-pub fn figure7_medical() -> Vec<(IndexScheme, f64)> {
+pub fn figure7_medical() -> SchemeSizes {
     let ds = MedicalDataset::generate(1.0, 7);
     let schema = &ds.schema;
     let (m, p, d, dr) = ds.cardinalities();

@@ -309,7 +309,11 @@ impl GhostDb {
                 "  hidden selection on {}.{} → climbing index{}\n",
                 ctx.schema.def(sel.table).name,
                 sel.pred.column,
-                if sel.exact { "" } else { " (+ exact re-check at projection)" }
+                if sel.exact {
+                    ""
+                } else {
+                    " (+ exact re-check at projection)"
+                }
             ));
         }
         for d in &decisions {
@@ -356,10 +360,8 @@ mod tests {
             capture_channel: true,
             ..Default::default()
         });
-        db.execute(
-            "CREATE TABLE Doctors (id INT, specialty CHAR(20), name CHAR(20) HIDDEN)",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE Doctors (id INT, specialty CHAR(20), name CHAR(20) HIDDEN)")
+            .unwrap();
         db.execute(
             "CREATE TABLE Patients (id INT, doctor_id INT HIDDEN REFERENCES Doctors, \
              age INT(2), name CHAR(20) HIDDEN, bodymassindex FLOAT HIDDEN)",
@@ -368,8 +370,14 @@ mod tests {
         db.insert_rows(
             "Doctors",
             vec![
-                vec![Value::Str("Psychiatrist".into()), Value::Str("Freud".into())],
-                vec![Value::Str("Cardiologist".into()), Value::Str("Harvey".into())],
+                vec![
+                    Value::Str("Psychiatrist".into()),
+                    Value::Str("Freud".into()),
+                ],
+                vec![
+                    Value::Str("Cardiologist".into()),
+                    Value::Str("Harvey".into()),
+                ],
             ],
         )
         .unwrap();
@@ -401,9 +409,7 @@ mod tests {
             )
             .unwrap();
         // Patients with doctor 0 (even ids) and bmi > 25 (i % 15 > 5).
-        let expect: Vec<i64> = (0..20)
-            .filter(|i| i % 2 == 0 && (i % 15) > 5)
-            .collect();
+        let expect: Vec<i64> = (0..20).filter(|i| i % 2 == 0 && (i % 15) > 5).collect();
         assert_eq!(rs.rows.len(), expect.len());
         for (row, want_id) in rs.rows.iter().zip(expect) {
             assert_eq!(row[0], Value::Int(want_id));
@@ -426,9 +432,7 @@ mod tests {
     fn invalid_join_rejected() {
         let mut db = patients_db();
         let err = db
-            .query(
-                "SELECT Patients.id FROM Patients, Doctors WHERE Patients.age = Doctors.id",
-            )
+            .query("SELECT Patients.id FROM Patients, Doctors WHERE Patients.age = Doctors.id")
             .unwrap_err();
         assert!(matches!(err, CoreError::Semantic(_)));
     }
@@ -470,11 +474,10 @@ mod tests {
         // collide, forcing the exact re-check path — results must still be
         // exact.
         let mut db = GhostDb::new(GhostDbConfig::default());
-        db.execute("CREATE TABLE D (id INT, name CHAR(30) HIDDEN)").unwrap();
-        db.execute(
-            "CREATE TABLE M (id INT, d_id INT HIDDEN REFERENCES D, v CHAR(8))",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE D (id INT, name CHAR(30) HIDDEN)")
+            .unwrap();
+        db.execute("CREATE TABLE M (id INT, d_id INT HIDDEN REFERENCES D, v CHAR(8))")
+            .unwrap();
         db.insert_rows(
             "D",
             (0..10)

@@ -48,9 +48,9 @@ pub mod sql;
 pub use audit::{audit_transcript, AuditReport};
 pub use db::{GhostDb, GhostDbConfig, QueryOptions};
 pub use error::CoreError;
-pub use ghostdb_exec::{ExecReport, ResultSet};
 pub use ghostdb_exec::project::ProjectAlgo;
 pub use ghostdb_exec::strategy::VisStrategy as Strategy;
+pub use ghostdb_exec::{ExecReport, ResultSet};
 
 /// Result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

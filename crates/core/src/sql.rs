@@ -185,7 +185,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Tok::Ident(s) => Ok(s),
-            other => Err(CoreError::Parse(format!("expected identifier, got {other:?}"))),
+            other => Err(CoreError::Parse(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 
@@ -266,7 +268,9 @@ impl Parser {
                 Tok::Sym(',') => continue,
                 Tok::Sym(')') => break,
                 other => {
-                    return Err(CoreError::Parse(format!("expected ',' or ')', got {other:?}")))
+                    return Err(CoreError::Parse(format!(
+                        "expected ',' or ')', got {other:?}"
+                    )))
                 }
             }
         }
@@ -335,10 +339,7 @@ impl Parser {
                     let lo = self.parse_value()?;
                     self.keyword("AND")?;
                     let hi = self.parse_value()?;
-                    predicates.push((
-                        lt,
-                        Predicate::new(&lc, CmpOp::Between, lo, Some(hi)),
-                    ));
+                    predicates.push((lt, Predicate::new(&lc, CmpOp::Between, lo, Some(hi))));
                 } else {
                     let op = match self.next()? {
                         Tok::Sym('=') => CmpOp::Eq,
@@ -422,7 +423,9 @@ mod tests {
              city char(100), bodymassindex float HIDDEN)",
         )
         .unwrap();
-        let Statement::CreateTable(ct) = stmt else { panic!() };
+        let Statement::CreateTable(ct) = stmt else {
+            panic!()
+        };
         assert_eq!(ct.name, "Patients");
         assert_eq!(ct.columns.len(), 4, "explicit id elided");
         assert!(ct.columns[0].hidden);
@@ -438,7 +441,9 @@ mod tests {
              time char(10))",
         )
         .unwrap();
-        let Statement::CreateTable(ct) = stmt else { panic!() };
+        let Statement::CreateTable(ct) = stmt else {
+            panic!()
+        };
         assert_eq!(ct.columns[0].references.as_deref(), Some("Patients"));
         assert!(ct.columns[0].hidden);
     }

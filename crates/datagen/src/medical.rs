@@ -163,7 +163,10 @@ impl MedicalDataset {
                 ColumnLoad {
                     name: "measurement".into(),
                     gen: Box::new(move |r| {
-                        Value::Str(format!("{:.2}", 3.0 + ((r as u64 * seed) % 900) as f64 / 100.0))
+                        Value::Str(format!(
+                            "{:.2}",
+                            3.0 + ((r as u64 * seed) % 900) as f64 / 100.0
+                        ))
                     }),
                     index: false,
                     exact: Some(false),
@@ -298,7 +301,11 @@ impl MedicalDataset {
                 },
             ],
         };
-        Database::assemble(self.schema.clone(), &config, vec![meas, patients, doctors, drugs])
+        Database::assemble(
+            self.schema.clone(),
+            &config,
+            vec![meas, patients, doctors, drugs],
+        )
     }
 
     /// Exact-selectivity visible predicate on `Patients.first_name`.
@@ -344,9 +351,15 @@ mod tests {
     fn raw_tuple_widths_match_paper() {
         let s = medical_schema();
         // Measurements: id(4)+2 fks(8)+10+10+100 = 132 bytes (§6.2).
-        assert_eq!(s.def(s.table_id("Measurements").unwrap()).raw_tuple_bytes(), 132);
+        assert_eq!(
+            s.def(s.table_id("Measurements").unwrap()).raw_tuple_bytes(),
+            132
+        );
         // Patients: 4+4+20+20+10+50+10+4+2+2+20+6 = 152.
-        assert_eq!(s.def(s.table_id("Patients").unwrap()).raw_tuple_bytes(), 152);
+        assert_eq!(
+            s.def(s.table_id("Patients").unwrap()).raw_tuple_bytes(),
+            152
+        );
         // Doctors: 4+20+60+20+20 = 124.
         assert_eq!(s.def(s.table_id("Doctors").unwrap()).raw_tuple_bytes(), 124);
         // Drugs: 4+60+100 = 164.

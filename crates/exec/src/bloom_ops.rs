@@ -118,9 +118,11 @@ mod tests {
             start: 0,
             end: 1_000_000,
         }];
-        assert!(build_bloom(&mut ctx, OpKind::Bloom, 1_000_000, &sources, 1024)
-            .unwrap()
-            .is_none());
+        assert!(
+            build_bloom(&mut ctx, OpKind::Bloom, 1_000_000, &sources, 1024)
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
@@ -128,7 +130,10 @@ mod tests {
         let mut db: Database = testkit::tiny_db();
         let mut ctx = ExecCtx::new(&mut db);
         let before = ctx.ram().available();
-        let sources = vec![IdSource::Range { start: 0, end: 8000 }];
+        let sources = vec![IdSource::Range {
+            start: 0,
+            end: 8000,
+        }];
         let bf = build_bloom(&mut ctx, OpKind::Bloom, 8000, &sources, 16384)
             .unwrap()
             .unwrap();

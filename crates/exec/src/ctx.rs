@@ -69,37 +69,33 @@ impl<'a> ExecCtx<'a> {
 
     /// The primary-key climbing index of a table.
     pub fn pk_index(&self, t: TableId) -> Result<&'a ClimbingIndex> {
-        self.cis.get(&(t, "id".to_string())).ok_or_else(|| {
-            ExecError::MissingIndex {
+        self.cis
+            .get(&(t, "id".to_string()))
+            .ok_or_else(|| ExecError::MissingIndex {
                 table: self.schema.def(t).name.clone(),
                 column: "id".into(),
-            }
-        })
+            })
     }
 
     /// The climbing index on an attribute.
     pub fn attr_index(&self, t: TableId, column: &str) -> Result<&'a ClimbingIndex> {
-        self.cis.get(&(t, column.to_string())).ok_or_else(|| {
-            ExecError::MissingIndex {
+        self.cis
+            .get(&(t, column.to_string()))
+            .ok_or_else(|| ExecError::MissingIndex {
                 table: self.schema.def(t).name.clone(),
                 column: column.into(),
-            }
-        })
+            })
     }
 
     /// The SKT of a table.
     pub fn skt(&self, t: TableId) -> Result<&'a SubtreeKeyTable> {
-        self.skts[t].as_ref().ok_or_else(|| {
-            ExecError::Query(format!("no SKT on table {}", self.schema.def(t).name))
-        })
+        self.skts[t]
+            .as_ref()
+            .ok_or_else(|| ExecError::Query(format!("no SKT on table {}", self.schema.def(t).name)))
     }
 
     /// Run `f` attributing all flash time it causes to `op`.
-    pub fn track<T>(
-        &mut self,
-        op: OpKind,
-        f: impl FnOnce(&mut Self) -> Result<T>,
-    ) -> Result<T> {
+    pub fn track<T>(&mut self, op: OpKind, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
         let snap = self.token.flash.snapshot();
         let out = f(self);
         let d = self.token.flash.elapsed_since(&snap);

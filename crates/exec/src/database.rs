@@ -10,7 +10,9 @@
 use crate::error::ExecError;
 use crate::Result;
 use ghostdb_flash::SegmentAllocator;
-use ghostdb_index::{ClimbingIndex, FkData, IndexBuilder, LevelSpec, SubtreeKeyTable};
+use ghostdb_index::{
+    ClimbingIndex, ClimbingSpec, FkData, IndexBuilder, LevelSpec, SubtreeKeyTable,
+};
 use ghostdb_storage::{
     ColumnType, HiddenColumn, HiddenImage, Id, SchemaTree, TableId, Value, Visibility,
 };
@@ -78,7 +80,8 @@ impl Database {
         let mut token = SecureToken::new(config);
         let mut alloc = SegmentAllocator::new(token.flash.logical_pages());
         let mut store = VisibleStore::new(schema.len());
-        let mut hidden: Vec<HiddenImage> = (0..schema.len()).map(|_| HiddenImage::default()).collect();
+        let mut hidden: Vec<HiddenImage> =
+            (0..schema.len()).map(|_| HiddenImage::default()).collect();
         let mut rows = vec![0u64; schema.len()];
         let mut fk_data = FkData::default();
         // (table, column, keys, exact) for climbing-index builds.
@@ -181,11 +184,13 @@ impl Database {
                 let ci = builder.build_climbing(
                     &mut token.flash,
                     &mut alloc,
-                    t,
-                    "id",
-                    &keys,
-                    LevelSpec::AncestorsOnly,
-                    true,
+                    ClimbingSpec {
+                        table: t,
+                        column: "id",
+                        keys: &keys,
+                        levels: LevelSpec::AncestorsOnly,
+                        exact: true,
+                    },
                 )?;
                 cis.insert((t, "id".to_string()), ci);
             }
@@ -194,11 +199,13 @@ impl Database {
             let ci = builder.build_climbing(
                 &mut token.flash,
                 &mut alloc,
-                t,
-                &name,
-                &keys,
-                LevelSpec::FullClimb,
-                exact,
+                ClimbingSpec {
+                    table: t,
+                    column: &name,
+                    keys: &keys,
+                    levels: LevelSpec::FullClimb,
+                    exact,
+                },
             )?;
             cis.insert((t, name), ci);
         }

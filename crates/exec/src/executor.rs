@@ -62,8 +62,7 @@ impl Executor {
 
         // The query travels to the token in the clear (it is the one thing
         // an observer legitimately learns), and the token acknowledges.
-        ctx.untrusted
-            .submit_query(&mut ctx.token.channel, &q.text);
+        ctx.untrusted.submit_query(&mut ctx.token.channel, &q.text);
         ctx.token.channel.send_to_untrusted("query-ack", &[1]);
 
         // Strategy decisions: pinned tables first, optimizer for the rest.
@@ -75,8 +74,8 @@ impl Executor {
             if let Some(forced) = opts.forced_strategy {
                 chosen.strategy = forced;
             }
-            if pinned.is_some() {
-                chosen.strategy = pinned.expect("checked").strategy;
+            if let Some(p) = pinned {
+                chosen.strategy = p.strategy;
             }
             decisions.push(chosen);
         }

@@ -47,11 +47,7 @@ fn flash_sources(groups: &[Vec<IdSource>]) -> usize {
 /// into single temp lists until one buffer per remaining sublist fits in
 /// `available - reserve` buffers. Reduction I/O (reads *and* temp writes)
 /// is Merge cost, matching the paper's accounting of its multi-pass nature.
-fn reduce(
-    ctx: &mut ExecCtx<'_>,
-    groups: &mut [Vec<IdSource>],
-    reserve: usize,
-) -> Result<()> {
+fn reduce(ctx: &mut ExecCtx<'_>, groups: &mut [Vec<IdSource>], reserve: usize) -> Result<()> {
     loop {
         let avail = ctx.ram().available().saturating_sub(reserve);
         if flash_sources(groups) <= avail {

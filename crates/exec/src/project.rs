@@ -15,10 +15,10 @@ use crate::ctx::ExecCtx;
 use crate::error::ExecError;
 use crate::query::{Analyzed, TableProjection};
 use crate::report::OpKind;
+use crate::result::ResultSet;
 use crate::sjoin::sjoin_stream;
 use crate::source::{IdSource, SourceReader};
 use crate::strategy::{RootIds, SjOutcome};
-use crate::result::ResultSet;
 use crate::Result;
 use ghostdb_bloom::calibrate;
 use ghostdb_bloom::BloomFilter;
@@ -219,10 +219,7 @@ fn partition(
             let mut reader = f.table.reader(&ram, page_size)?;
             ctx.track_rw(OpKind::Partition, OpKind::Partition, |ctx| {
                 let mut cell = vec![0u8; 4];
-                loop {
-                    let Some(row) = reader.next_row(&mut ctx.token.flash)? else {
-                        break;
-                    };
+                while let Some(row) = reader.next_row(&mut ctx.token.flash)? {
                     let row = row.to_vec();
                     cell.copy_from_slice(&row[..4]);
                     root_writer.push(&mut ctx.token.flash, &cell)?;
@@ -414,13 +411,8 @@ fn mjoin(
     let dict_region = ctx.ram().alloc_region(dict_buffers)?;
 
     // Host map for value lookup of the visible shipment.
-    let vis_map: Option<HashMap<Id, usize>> = vis_values.map(|s| {
-        s.ids
-            .iter()
-            .enumerate()
-            .map(|(i, id)| (*id, i))
-            .collect()
-    });
+    let vis_map: Option<HashMap<Id, usize>> =
+        vis_values.map(|s| s.ids.iter().enumerate().map(|(i, id)| (*id, i)).collect());
 
     let mut sigma_reader = SourceReader::open(&sigma, &ram, page_size)?;
     let mut runs: Vec<FlashTable> = Vec::new();
@@ -480,13 +472,8 @@ fn mjoin(
         }
         // Sweep the id column, emitting <pos, entry> for dict hits.
         let mut col_reader = id_col.reader(&ram, page_size)?;
-        let mut writer = FlashTableWriter::create(
-            ctx.alloc,
-            &ram,
-            layout.clone(),
-            id_col.rows(),
-            page_size,
-        )?;
+        let mut writer =
+            FlashTableWriter::create(ctx.alloc, &ram, layout.clone(), id_col.rows(), page_size)?;
         ctx.track(OpKind::MJoin, |ctx| {
             let mut pos = 0u32;
             let mut row = vec![0u8; layout.size()];
@@ -547,10 +534,12 @@ fn merge_runs_level(ctx: &mut ExecCtx<'_>, runs: Vec<FlashTable>) -> Result<Flas
     let page_size = ctx.page_size();
     let mut readers = runs
         .iter()
-        .map(|r| r.reader(&ram, page_size).map_err(crate::error::ExecError::from))
+        .map(|r| {
+            r.reader(&ram, page_size)
+                .map_err(crate::error::ExecError::from)
+        })
         .collect::<Result<Vec<_>>>()?;
-    let mut writer =
-        FlashTableWriter::create(ctx.alloc, &ram, layout.clone(), total, page_size)?;
+    let mut writer = FlashTableWriter::create(ctx.alloc, &ram, layout.clone(), total, page_size)?;
     ctx.track(OpKind::MJoin, |ctx| {
         let mut heads: Vec<Option<Vec<u8>>> = Vec::new();
         for r in readers.iter_mut() {
@@ -637,8 +626,11 @@ fn final_join(
         .collect::<Result<_>>()?;
 
     let mut root_reader = root_col.reader(&ram, page_size)?;
-    let mut table_readers: Vec<(TableId, &ProjTable, ghostdb_storage::table::FlashTableReader)> =
-        Vec::new();
+    let mut table_readers: Vec<(
+        TableId,
+        &ProjTable,
+        ghostdb_storage::table::FlashTableReader,
+    )> = Vec::new();
     for (t, pt) in &proj_tables {
         table_readers.push((*t, pt, pt.table.reader(&ram, page_size)?));
     }
@@ -671,9 +663,7 @@ fn final_join(
                         Some(row) => {
                             let rpos = pt.table.layout.get_id(row, 0);
                             if rpos < pos {
-                                heads[i] = r
-                                    .next_row(&mut ctx.token.flash)?
-                                    .map(|x| x.to_vec());
+                                heads[i] = r.next_row(&mut ctx.token.flash)?.map(|x| x.to_vec());
                             } else if rpos == pos {
                                 current[i] = heads[i].clone();
                                 break;
@@ -714,9 +704,7 @@ fn final_join(
                     if *t == root {
                         if cname == "id" {
                             out_row.push(Value::Int(root_id as i64));
-                        } else if let Some(i) =
-                            root_proj.vis.iter().position(|c| c == cname)
-                        {
+                        } else if let Some(i) = root_proj.vis.iter().position(|c| c == cname) {
                             let shipment = root_shipment.as_ref().expect("vis projected");
                             let idx = root_idx.ok_or_else(|| {
                                 ExecError::Query(format!(
@@ -741,8 +729,7 @@ fn final_join(
                         if cname == "id" {
                             out_row.push(Value::Int(pt.table.layout.get_id(row, 1) as i64));
                         } else {
-                            let (field, ty) =
-                                pt.field_of(cname).expect("analyzed projection");
+                            let (field, ty) = pt.field_of(cname).expect("analyzed projection");
                             out_row.push(Value::decode(&ty, pt.table.layout.field(row, field)));
                         }
                     }
@@ -802,7 +789,10 @@ fn brute_force(
     let mut root_reader = root_col.reader(&ram, page_size)?;
     let mut col_readers = id_cols
         .iter()
-        .map(|c| c.reader(&ram, page_size).map_err(crate::error::ExecError::from))
+        .map(|c| {
+            c.reader(&ram, page_size)
+                .map_err(crate::error::ExecError::from)
+        })
         .collect::<Result<Vec<_>>>()?;
 
     // RAM chunk for "loading the result of QEPSJ in RAM": everything left.
@@ -821,10 +811,7 @@ fn brute_force(
     let mut rows = Vec::new();
 
     ctx.track(OpKind::BruteForce, |ctx| {
-        loop {
-            let Some(cell) = root_reader.next_row(&mut ctx.token.flash)? else {
-                break;
-            };
+        while let Some(cell) = root_reader.next_row(&mut ctx.token.flash)? {
             let root_id = u32::from_le_bytes(cell[..4].try_into().expect("id"));
             let mut ids: HashMap<TableId, Id> = HashMap::new();
             ids.insert(root, root_id);
@@ -853,8 +840,12 @@ fn brute_force(
                         preds,
                         &[],
                     )?;
-                    let map: HashMap<Id, usize> =
-                        shipped.ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+                    let map: HashMap<Id, usize> = shipped
+                        .ids
+                        .iter()
+                        .enumerate()
+                        .map(|(i, id)| (*id, i))
+                        .collect();
                     if !map.contains_key(&ids[t]) {
                         keep = false;
                     }
@@ -884,8 +875,7 @@ fn brute_force(
                 let col = def.column(cname).expect("analyzed");
                 match col.visibility {
                     ghostdb_storage::Visibility::Visible => {
-                        let (shipment, map) =
-                            shipments.get(t).expect("visible projection shipped");
+                        let (shipment, map) = shipments.get(t).expect("visible projection shipped");
                         let idx = *map.get(&id).ok_or_else(|| {
                             ExecError::Query(format!("id {id} missing from shipment"))
                         })?;

@@ -148,9 +148,9 @@ pub fn analyze(schema: &SchemaTree, q: &SpjQuery) -> Result<Analyzed> {
             push_vis(&mut vis_preds, *t, p.clone());
             continue;
         }
-        let col = def.column(&p.column).ok_or_else(|| {
-            ExecError::Query(format!("unknown column {}.{}", def.name, p.column))
-        })?;
+        let col = def
+            .column(&p.column)
+            .ok_or_else(|| ExecError::Query(format!("unknown column {}.{}", def.name, p.column)))?;
         let p = &coerce(&def.name, col, p)?;
         match col.visibility {
             Visibility::Visible => push_vis(&mut vis_preds, *t, p.clone()),
@@ -205,11 +205,7 @@ pub fn analyze(schema: &SchemaTree, q: &SpjQuery) -> Result<Analyzed> {
 /// Type-check and coerce a predicate's literals to the column type, so
 /// exact evaluation and order-key ranges agree with the stored encoding
 /// (e.g. `bodymassindex > 25` coerces the integer literal to a float).
-fn coerce(
-    table: &str,
-    col: &ghostdb_storage::Column,
-    p: &Predicate,
-) -> Result<Predicate> {
+fn coerce(table: &str, col: &ghostdb_storage::Column, p: &Predicate) -> Result<Predicate> {
     let fix = |v: &ghostdb_storage::Value| -> Result<ghostdb_storage::Value> {
         use ghostdb_storage::{ColumnType, Value};
         match (&col.ty, v) {

@@ -53,7 +53,10 @@ impl OpKind {
     ];
 
     fn idx(self) -> usize {
-        OpKind::ALL.iter().position(|k| *k == self).expect("known kind")
+        OpKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("known kind")
     }
 
     /// Display name.
@@ -133,7 +136,10 @@ impl ExecReport {
             + self.op(OpKind::FinalJoin)
             + self.op(OpKind::BruteForce);
         [
-            ("Merge", self.op(OpKind::Merge) + self.op(OpKind::Ci) + self.op(OpKind::Bloom)),
+            (
+                "Merge",
+                self.op(OpKind::Merge) + self.op(OpKind::Ci) + self.op(OpKind::Bloom),
+            ),
             ("Sjoin", self.op(OpKind::SJoin)),
             ("Store", self.op(OpKind::Store)),
             ("Project", project),
@@ -158,7 +164,11 @@ impl ExecReport {
 /// Split a flash-stats delta into its read-side and write-side simulated
 /// times, so an operator's scan cost and its output-materialisation cost
 /// can be attributed separately (SJoin vs Store in Figure 15).
-pub fn split_rw(d: &FlashStats, timing: &FlashTiming, page_size: usize) -> (SimDuration, SimDuration) {
+pub fn split_rw(
+    d: &FlashStats,
+    timing: &FlashTiming,
+    page_size: usize,
+) -> (SimDuration, SimDuration) {
     let read_ns = d.pages_read as u128 * timing.read_page_us as u128 * 1_000
         + d.bytes_to_ram as u128 * timing.transfer_ns_per_byte as u128
         + d.gc_pages_read as u128 * timing.read_cost_ns(page_size);
@@ -166,7 +176,10 @@ pub fn split_rw(d: &FlashStats, timing: &FlashTiming, page_size: usize) -> (SimD
         + d.bytes_from_ram as u128 * timing.transfer_ns_per_byte as u128
         + d.gc_pages_written as u128 * timing.write_cost_ns(page_size)
         + d.blocks_erased as u128 * timing.erase_cost_ns();
-    (SimDuration::from_ns(read_ns), SimDuration::from_ns(write_ns))
+    (
+        SimDuration::from_ns(read_ns),
+        SimDuration::from_ns(write_ns),
+    )
 }
 
 #[cfg(test)]

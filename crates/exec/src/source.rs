@@ -73,7 +73,9 @@ impl SourceReader {
     /// Open a reader (Flash sources take one RAM buffer).
     pub fn open(source: &IdSource, ram: &RamArena, page_size: usize) -> Result<Self> {
         Ok(match source {
-            IdSource::Flash(list) => SourceReader::Flash(IdListReader::open(*list, ram, page_size)?),
+            IdSource::Flash(list) => {
+                SourceReader::Flash(IdListReader::open(*list, ram, page_size)?)
+            }
             IdSource::Host(ids) => SourceReader::Host {
                 ids: ids.clone(),
                 pos: 0,
@@ -178,11 +180,7 @@ impl UnionStream {
     }
 
     /// Advance the union until its head is ≥ `target`; returns the head.
-    pub fn seek_at_least(
-        &mut self,
-        dev: &mut FlashDevice,
-        target: Id,
-    ) -> Result<Option<Id>> {
+    pub fn seek_at_least(&mut self, dev: &mut FlashDevice, target: Id) -> Result<Option<Id>> {
         loop {
             match self.peek(dev)? {
                 None => return Ok(None),
@@ -329,8 +327,8 @@ mod tests {
     #[test]
     fn empty_group_yields_empty_intersection() {
         let (mut dev, _alloc, ram) = setup();
-        let g1 = UnionStream::open(&[IdSource::Host(Rc::new(vec![]))], &ram, dev.page_size())
-            .unwrap();
+        let g1 =
+            UnionStream::open(&[IdSource::Host(Rc::new(vec![]))], &ram, dev.page_size()).unwrap();
         let g2 = UnionStream::open(
             &[IdSource::Host(Rc::new(vec![1, 2]))],
             &ram,

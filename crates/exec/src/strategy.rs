@@ -171,13 +171,9 @@ pub fn execute_sj(
             continue;
         }
         // Ship the sorted visible id list (ids only at this stage).
-        let shipment = ctx.untrusted.vis(
-            &mut ctx.token.channel,
-            *t,
-            &schema.def(*t).name,
-            preds,
-            &[],
-        )?;
+        let shipment =
+            ctx.untrusted
+                .vis(&mut ctx.token.channel, *t, &schema.def(*t).name, preds, &[])?;
         let vis_ids: Rc<Vec<Id>> = Rc::new(shipment.ids);
 
         // Cross-intersection with subtree hidden selections.
@@ -437,18 +433,14 @@ fn post_select_pass(
         // Hold the chunk in a RAM region (honest accounting of "loads in
         // RAM the IDs resulting from the Visible selection").
         let buffers_needed = (((hi - lo) * 4).div_ceil(ctx.ram().buf_size())).max(1);
-        let _region = ctx.ram().alloc_region(buffers_needed.min(
-            ctx.ram().available().saturating_sub(3).max(1),
-        ))?;
+        let _region = ctx
+            .ram()
+            .alloc_region(buffers_needed.min(ctx.ram().available().saturating_sub(3).max(1)))?;
         let ram = ctx.ram();
         let page_size = ctx.page_size();
         let mut reader = table.table.reader(&ram, page_size)?;
-        let mut writer = SJoinWriter::create(
-            ctx,
-            table.cols[0],
-            &table.cols[1..],
-            table.table.rows(),
-        )?;
+        let mut writer =
+            SJoinWriter::create(ctx, table.cols[0], &table.cols[1..], table.table.rows())?;
         loop {
             let snap = ctx.token.flash.snapshot();
             let row = reader.next_row(&mut ctx.token.flash)?;
@@ -486,7 +478,11 @@ fn merge_sjoin_runs(ctx: &mut ExecCtx<'_>, runs: Vec<SJoinTable>) -> Result<SJoi
     let page_size = ctx.page_size();
     let mut readers = runs
         .iter()
-        .map(|r| r.table.reader(&ram, page_size).map_err(crate::error::ExecError::from))
+        .map(|r| {
+            r.table
+                .reader(&ram, page_size)
+                .map_err(crate::error::ExecError::from)
+        })
         .collect::<Result<Vec<_>>>()?;
     let mut heads: Vec<Option<Vec<u8>>> = Vec::new();
     for r in readers.iter_mut() {

@@ -77,8 +77,12 @@ pub fn tiny_db() -> Database {
         table("T11", n11, vec![]),
         table("T12", n12, vec![]),
     ];
-    Database::assemble(schema, &TokenConfig::paper_platform(16 * 1024 * 1024), loads)
-        .expect("tiny db assembles")
+    Database::assemble(
+        schema,
+        &TokenConfig::paper_platform(16 * 1024 * 1024),
+        loads,
+    )
+    .expect("tiny db assembles")
 }
 
 /// Ground truth for the tiny database: root ids satisfying a caller

@@ -19,10 +19,7 @@ fn query_q(db: &ghostdb_exec::Database, s: u64, k: u64) -> SpjQuery {
     let t1 = db.schema.table_id("T1").unwrap();
     let t12 = db.schema.table_id("T12").unwrap();
     let mut q = SpjQuery::new()
-        .pred(
-            t1,
-            Predicate::new("v1", CmpOp::Lt, pad8(s), None),
-        )
+        .pred(t1, Predicate::new("v1", CmpOp::Lt, pad8(s), None))
         .pred(t12, Predicate::eq("h2", pad8(k)))
         .project(t0, "id")
         .project(t1, "id")
@@ -153,7 +150,8 @@ fn root_predicates_and_projections() {
         .project(t0, "id")
         .project(t0, "v2")
         .project(t0, "h2");
-    q.text = "SELECT T0.id, T0.v2, T0.h2 FROM T0 WHERE T0.h1='00000002' AND T0.v1<'00000100'".into();
+    q.text =
+        "SELECT T0.id, T0.v2, T0.h2 FROM T0 WHERE T0.h1='00000002' AND T0.v1<'00000100'".into();
     let rs = run(&mut db, &q, &ExecOptions::auto());
     let expected: Vec<Vec<Value>> = tiny_truth(|r, _, _, _, _| r % 4 == 2 && r < 100)
         .into_iter()

@@ -90,7 +90,8 @@ impl FlashDevice {
 
     /// Simulated time implied by the I/O performed since `snap`.
     pub fn elapsed_since(&self, snap: &FlashSnapshot) -> SimDuration {
-        self.stats_since(snap).elapsed(&self.timing, self.page_size())
+        self.stats_since(snap)
+            .elapsed(&self.timing, self.page_size())
     }
 
     /// Wear spread of the underlying array (diagnostics).

@@ -42,7 +42,10 @@ impl fmt::Display for FlashError {
             ),
             FlashError::OutOfSpace => write!(f, "no writable physical space left (GC exhausted)"),
             FlashError::OutOfLogicalSpace { requested } => {
-                write!(f, "no contiguous run of {requested} logical pages available")
+                write!(
+                    f,
+                    "no contiguous run of {requested} logical pages available"
+                )
             }
             FlashError::SegmentOverflow => write!(f, "access outside the segment bounds"),
         }

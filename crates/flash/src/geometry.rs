@@ -67,7 +67,10 @@ impl FlashGeometry {
     /// misconfiguration fails fast at construction time.
     pub fn validate(&self) {
         assert!(self.page_size >= 64, "page size too small");
-        assert!(self.pages_per_block >= 1, "need at least one page per block");
+        assert!(
+            self.pages_per_block >= 1,
+            "need at least one page per block"
+        );
         assert!(
             self.block_count > self.spare_blocks,
             "need at least one logical block"

@@ -108,9 +108,7 @@ impl SegmentAllocator {
     }
 
     fn insert_free_run(&mut self, start: Lpn, len: u64) {
-        let pos = self
-            .free
-            .partition_point(|(s, _)| *s < start);
+        let pos = self.free.partition_point(|(s, _)| *s < start);
         self.free.insert(pos, (start, len));
         // Coalesce with neighbours.
         if pos + 1 < self.free.len() {

@@ -62,7 +62,9 @@ impl SimDuration {
 impl std::ops::Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { ns: self.ns + rhs.ns }
+        SimDuration {
+            ns: self.ns + rhs.ns,
+        }
     }
 }
 

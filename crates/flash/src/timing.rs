@@ -33,8 +33,7 @@ impl FlashTiming {
     /// Simulated cost in nanoseconds of programming one full page of
     /// `page_size` bytes (transfer + program).
     pub fn write_cost_ns(&self, page_size: usize) -> u128 {
-        self.program_page_us as u128 * 1_000
-            + page_size as u128 * self.transfer_ns_per_byte as u128
+        self.program_page_us as u128 * 1_000 + page_size as u128 * self.transfer_ns_per_byte as u128
     }
 
     /// Simulated cost in nanoseconds of erasing one block.

@@ -16,8 +16,11 @@ enum Op {
 
 fn op_strategy(logical_pages: u64, page_size: usize) -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..logical_pages, any::<u8>(), 1..=page_size)
-            .prop_map(|(lpn, byte, len)| Op::Write { lpn, byte, len }),
+        (0..logical_pages, any::<u8>(), 1..=page_size).prop_map(|(lpn, byte, len)| Op::Write {
+            lpn,
+            byte,
+            len
+        }),
         (0..logical_pages, 0..page_size - 8, any::<u8>())
             .prop_map(|(lpn, offset, byte)| Op::WriteAt { lpn, offset, byte }),
         (0..logical_pages).prop_map(|lpn| Op::Trim { lpn }),

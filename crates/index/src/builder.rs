@@ -34,6 +34,27 @@ impl FkData {
     }
 }
 
+/// Description of one climbing index to build
+/// ([`IndexBuilder::build_climbing`]).
+///
+/// `keys[r]` is the order-preserving key of the attribute value of row `r`
+/// ([`ghostdb_storage::Value::order_key`]). `exact` states whether that
+/// encoding is injective for this column's data (drives whether operators
+/// must re-check predicates on exact values).
+#[derive(Debug, Clone, Copy)]
+pub struct ClimbingSpec<'a> {
+    /// Indexed table.
+    pub table: TableId,
+    /// Indexed column name.
+    pub column: &'a str,
+    /// Order-preserving key of each row's value, one per row.
+    pub keys: &'a [u64],
+    /// Which target levels the index climbs to.
+    pub levels: LevelSpec,
+    /// Whether the key encoding is injective for this column's data.
+    pub exact: bool,
+}
+
 /// Builder over a loaded schema instance.
 #[derive(Debug)]
 pub struct IndexBuilder {
@@ -152,24 +173,22 @@ impl IndexBuilder {
         Ok(levels)
     }
 
-    /// Build a climbing index on `t.column`.
-    ///
-    /// `keys[r]` is the order-preserving key of the attribute value of row
-    /// `r` ([`ghostdb_storage::Value::order_key`]). `exact` states whether
-    /// that encoding is injective for this column's data (drives whether
-    /// operators must re-check predicates on exact values).
+    /// Build the climbing index described by `spec`.
     pub fn build_climbing(
         &self,
         dev: &mut FlashDevice,
         alloc: &mut SegmentAllocator,
-        t: TableId,
-        column: &str,
-        keys: &[u64],
-        spec: LevelSpec,
-        exact: bool,
+        spec: ClimbingSpec<'_>,
     ) -> Result<ClimbingIndex> {
+        let ClimbingSpec {
+            table: t,
+            column,
+            keys,
+            levels: level_spec,
+            exact,
+        } = spec;
         assert_eq!(keys.len() as u64, self.rows[t], "one key per row");
-        let levels = self.resolve_levels(t, spec)?;
+        let levels = self.resolve_levels(t, level_spec)?;
         // Distinct keys, sorted.
         let mut distinct: Vec<u64> = keys.to_vec();
         distinct.sort_unstable();
@@ -211,8 +230,7 @@ impl IndexBuilder {
             let mut cursor = offsets.clone();
             for (r, k) in level_keys.iter().enumerate() {
                 let at = &mut cursor[rank[k] as usize];
-                area[*at as usize..*at as usize + 4]
-                    .copy_from_slice(&(r as Id).to_le_bytes());
+                area[*at as usize..*at as usize + 4].copy_from_slice(&(r as Id).to_le_bytes());
                 *at += 4;
             }
             // Write the packed area sequentially.
@@ -228,8 +246,7 @@ impl IndexBuilder {
             }
         }
 
-        let entries: Vec<(u64, Vec<u8>)> =
-            distinct.into_iter().zip(payloads).collect();
+        let entries: Vec<(u64, Vec<u8>)> = distinct.into_iter().zip(payloads).collect();
         let tree = BTree::bulk_build(dev, alloc, payload_size, &entries)?;
         Ok(ClimbingIndex::new(
             t,
@@ -293,7 +310,10 @@ mod tests {
         // T0 row 77 → T1 row 27 → T12 row 27 % 8 = 3.
         assert_eq!(map[77], 3);
         // Identity for self.
-        assert_eq!(b.map_to_descendant(t12, t12).unwrap(), (0..8).collect::<Vec<u32>>());
+        assert_eq!(
+            b.map_to_descendant(t12, t12).unwrap(),
+            (0..8).collect::<Vec<u32>>()
+        );
         // Non-descendant errors.
         let t2 = schema.table_id("T2").unwrap();
         assert!(b.map_to_descendant(t2, t12).is_err());
@@ -345,7 +365,17 @@ mod tests {
         let t0 = schema.root();
         let keys: Vec<u64> = (0..100).map(|r| (r / 10) as u64).collect();
         let ci = b
-            .build_climbing(&mut dev, &mut alloc, t0, "h1", &keys, LevelSpec::FullClimb, true)
+            .build_climbing(
+                &mut dev,
+                &mut alloc,
+                ClimbingSpec {
+                    table: t0,
+                    column: "h1",
+                    keys: &keys,
+                    levels: LevelSpec::FullClimb,
+                    exact: true,
+                },
+            )
             .unwrap();
         assert_eq!(ci.levels, vec![t0]);
         let mut probe = ci.probe(&ram).unwrap();
@@ -376,7 +406,17 @@ mod tests {
         let b = IndexBuilder::new(schema.clone(), rows, fks);
         let keys: Vec<u64> = (0..10).map(|r| r as u64).collect();
         let ci = b
-            .build_climbing(&mut dev, &mut alloc, t1, "h1", &keys, LevelSpec::FullClimb, true)
+            .build_climbing(
+                &mut dev,
+                &mut alloc,
+                ClimbingSpec {
+                    table: t1,
+                    column: "h1",
+                    keys: &keys,
+                    levels: LevelSpec::FullClimb,
+                    exact: true,
+                },
+            )
             .unwrap();
         let mut probe = ci.probe(&ram).unwrap();
         // Key 7: T1 row 7 exists but no T0 row references it.

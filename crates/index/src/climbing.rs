@@ -92,7 +92,12 @@ impl ClimbingIndex {
 
     /// Bytes occupied on flash: B+-tree plus all ID areas.
     pub fn bytes(&self, page_size: usize) -> u64 {
-        self.tree.bytes() + self.areas.iter().map(|a| a.pages() * page_size as u64).sum::<u64>()
+        self.tree.bytes()
+            + self
+                .areas
+                .iter()
+                .map(|a| a.pages() * page_size as u64)
+                .sum::<u64>()
     }
 
     /// Open a probe (pins one RAM buffer per B+-tree level, §3.4).
@@ -177,7 +182,7 @@ impl CiProbe<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::{FkData, IndexBuilder};
+    use crate::builder::{ClimbingSpec, FkData, IndexBuilder};
     use ghostdb_flash::{FlashDevice, FlashGeometry, FlashTiming, SegmentAllocator};
     use ghostdb_storage::schema::paper_synthetic_schema;
     use ghostdb_storage::IdListReader;
@@ -227,7 +232,17 @@ mod tests {
         // Attribute h on T12 rows: key = row id % 2 (two distinct values).
         let keys: Vec<u64> = (0..4).map(|r| (r % 2) as u64).collect();
         let ci = b
-            .build_climbing(&mut dev, &mut alloc, t12, "h1", &keys, LevelSpec::FullClimb, true)
+            .build_climbing(
+                &mut dev,
+                &mut alloc,
+                ClimbingSpec {
+                    table: t12,
+                    column: "h1",
+                    keys: &keys,
+                    levels: LevelSpec::FullClimb,
+                    exact: true,
+                },
+            )
             .unwrap();
         assert_eq!(ci.levels.len(), 3); // T12, T1, T0
         assert_eq!(ci.distinct(), 2);
@@ -253,7 +268,9 @@ mod tests {
             .unwrap()
             .drain(&mut dev)
             .unwrap();
-        let expect: Vec<u32> = (0..40u32).filter(|i| (i / 2) % 4 == 0 || (i / 2) % 4 == 2).collect();
+        let expect: Vec<u32> = (0..40u32)
+            .filter(|i| (i / 2) % 4 == 0 || (i / 2) % 4 == 2)
+            .collect();
         assert_eq!(ids, expect);
     }
 
@@ -265,7 +282,17 @@ mod tests {
         let t1 = schema.table_id("T1").unwrap();
         let keys: Vec<u64> = (0..20).map(|r| (r % 10) as u64).collect();
         let ci = b
-            .build_climbing(&mut dev, &mut alloc, t1, "h1", &keys, LevelSpec::FullClimb, true)
+            .build_climbing(
+                &mut dev,
+                &mut alloc,
+                ClimbingSpec {
+                    table: t1,
+                    column: "h1",
+                    keys: &keys,
+                    levels: LevelSpec::FullClimb,
+                    exact: true,
+                },
+            )
             .unwrap();
         let mut probe = ci.probe(&ram).unwrap();
         let lists = probe.lookup_range(&mut dev, 3, 6, 0).unwrap();
@@ -291,7 +318,17 @@ mod tests {
         let t2 = schema.table_id("T2").unwrap();
         let keys: Vec<u64> = (0..10).map(|r| r as u64 * 10).collect();
         let ci = b
-            .build_climbing(&mut dev, &mut alloc, t2, "h1", &keys, LevelSpec::FullClimb, true)
+            .build_climbing(
+                &mut dev,
+                &mut alloc,
+                ClimbingSpec {
+                    table: t2,
+                    column: "h1",
+                    keys: &keys,
+                    levels: LevelSpec::FullClimb,
+                    exact: true,
+                },
+            )
             .unwrap();
         assert_eq!(ci.levels.len(), 2); // T2, T0
         let mut probe = ci.probe(&ram).unwrap();
@@ -310,11 +347,13 @@ mod tests {
             .build_climbing(
                 &mut dev,
                 &mut alloc,
-                t1,
-                "id",
-                &keys,
-                LevelSpec::AncestorsOnly,
-                true,
+                ClimbingSpec {
+                    table: t1,
+                    column: "id",
+                    keys: &keys,
+                    levels: LevelSpec::AncestorsOnly,
+                    exact: true,
+                },
             )
             .unwrap();
         assert_eq!(ci.levels.len(), 1); // T0 only
@@ -336,7 +375,17 @@ mod tests {
         let t12 = schema.table_id("T12").unwrap();
         let keys: Vec<u64> = (0..4).map(|r| r as u64).collect();
         let ci = b
-            .build_climbing(&mut dev, &mut alloc, t12, "h1", &keys, LevelSpec::SelfAndRoot, true)
+            .build_climbing(
+                &mut dev,
+                &mut alloc,
+                ClimbingSpec {
+                    table: t12,
+                    column: "h1",
+                    keys: &keys,
+                    levels: LevelSpec::SelfAndRoot,
+                    exact: true,
+                },
+            )
             .unwrap();
         let t0 = schema.root();
         assert_eq!(ci.levels, vec![t12, t0]);

@@ -26,7 +26,7 @@ pub mod schemes;
 pub mod size_model;
 pub mod skt;
 
-pub use builder::{FkData, IndexBuilder};
+pub use builder::{ClimbingSpec, FkData, IndexBuilder};
 pub use climbing::{CiProbe, ClimbingIndex, LevelSpec};
 pub use schemes::IndexScheme;
 pub use skt::SubtreeKeyTable;

@@ -101,7 +101,14 @@ pub fn scheme_index_bytes(scheme: IndexScheme, input: &SizeModelInput<'_>) -> u6
         }
         // Selection indexes on hidden attributes.
         total += input.attrs_per_table as u64
-            * climbing_bytes(schema, rows, t, input.distinct[t], scheme.attr_levels(), page);
+            * climbing_bytes(
+                schema,
+                rows,
+                t,
+                input.distinct[t],
+                scheme.attr_levels(),
+                page,
+            );
         // Primary-key indexes.
         if let Some(spec) = scheme.pk_levels(schema, t) {
             let spec = match (scheme, spec) {
@@ -121,8 +128,7 @@ pub fn scheme_index_bytes(scheme: IndexScheme, input: &SizeModelInput<'_>) -> u6
         // directions.
         if scheme.has_fk_join_indexes() {
             for child in schema.children(t) {
-                let tree =
-                    BTree::pages_needed(rows[*child], page, LEVEL_DESC_BYTES) * page as u64;
+                let tree = BTree::pages_needed(rows[*child], page, LEVEL_DESC_BYTES) * page as u64;
                 let area = pages_bytes(rows[t] * 4, page);
                 total += tree + area;
             }
@@ -142,7 +148,7 @@ pub fn figure7_point(input: &SizeModelInput<'_>) -> Vec<(IndexScheme, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::{FkData, IndexBuilder};
+    use crate::builder::{ClimbingSpec, FkData, IndexBuilder};
     use ghostdb_flash::{FlashDevice, FlashGeometry, FlashTiming, SegmentAllocator};
     use ghostdb_storage::schema::paper_synthetic_schema;
 
@@ -187,7 +193,17 @@ mod tests {
         let t12 = schema.table_id("T12").unwrap();
         let keys: Vec<u64> = (0..rows[t12]).map(|r| r % 40).collect();
         let ci = b
-            .build_climbing(&mut dev, &mut alloc, t12, "h1", &keys, LevelSpec::FullClimb, true)
+            .build_climbing(
+                &mut dev,
+                &mut alloc,
+                ClimbingSpec {
+                    table: t12,
+                    column: "h1",
+                    keys: &keys,
+                    levels: LevelSpec::FullClimb,
+                    exact: true,
+                },
+            )
             .unwrap();
         assert_eq!(
             ci.bytes(page),

@@ -27,11 +27,7 @@ pub struct SubtreeKeyTable {
 
 impl SubtreeKeyTable {
     /// Wrap a built flash table (used by `IndexBuilder`).
-    pub fn new(
-        schema: &SchemaTree,
-        table: TableId,
-        flash: FlashTable,
-    ) -> Result<SubtreeKeyTable> {
+    pub fn new(schema: &SchemaTree, table: TableId, flash: FlashTable) -> Result<SubtreeKeyTable> {
         let descendants = schema.descendants(table);
         if descendants.is_empty() {
             return Err(StorageError::Schema(format!(

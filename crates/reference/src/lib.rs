@@ -124,7 +124,9 @@ mod tests {
             );
             tables[t].columns.insert(
                 "h1".into(),
-                (0..c).map(|i| Value::Str(format!("{:08}", i % 3))).collect(),
+                (0..c)
+                    .map(|i| Value::Str(format!("{:08}", i % 3)))
+                    .collect(),
             );
         }
         let t0 = schema.table_id("T0").unwrap();

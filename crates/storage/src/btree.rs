@@ -373,12 +373,7 @@ mod tests {
         (dev, alloc, ram)
     }
 
-    fn build(
-        dev: &mut FlashDevice,
-        alloc: &mut SegmentAllocator,
-        n: u64,
-        stride: u64,
-    ) -> BTree {
+    fn build(dev: &mut FlashDevice, alloc: &mut SegmentAllocator, n: u64, stride: u64) -> BTree {
         let entries: Vec<(u64, Vec<u8>)> = (0..n)
             .map(|i| (i * stride, (i as u32).to_le_bytes().to_vec()))
             .collect();
@@ -393,7 +388,10 @@ mod tests {
         let mut cur = tree.cursor(&ram).unwrap();
         for probe in [0u64, 3, 2_997, 29_997] {
             let got = cur.lookup(&mut dev, probe).unwrap().unwrap();
-            assert_eq!(u32::from_le_bytes(got.try_into().unwrap()) as u64, probe / 3);
+            assert_eq!(
+                u32::from_le_bytes(got.try_into().unwrap()) as u64,
+                probe / 3
+            );
         }
         assert!(cur.lookup(&mut dev, 1).unwrap().is_none());
         assert!(cur.lookup(&mut dev, 30_000).unwrap().is_none());

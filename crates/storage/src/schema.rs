@@ -165,7 +165,10 @@ impl SchemaTree {
         let mut by_name = BTreeMap::new();
         for (i, def) in defs.iter().enumerate() {
             if by_name.insert(def.name.clone(), i).is_some() {
-                return Err(StorageError::Schema(format!("duplicate table {}", def.name)));
+                return Err(StorageError::Schema(format!(
+                    "duplicate table {}",
+                    def.name
+                )));
             }
             let mut col_names = std::collections::BTreeSet::new();
             for c in &def.columns {
@@ -355,7 +358,9 @@ pub fn paper_synthetic_schema(n_visible: usize, n_hidden: usize) -> SchemaTree {
         }
     }
     let t0 = attr(
-        TableDef::new("T0").with_fk("fk1", "T1").with_fk("fk2", "T2"),
+        TableDef::new("T0")
+            .with_fk("fk1", "T1")
+            .with_fk("fk2", "T2"),
         n_visible,
         n_hidden,
     );

@@ -166,10 +166,7 @@ impl ColumnScan {
             self.buffered_page = Some(page);
         }
         let width = self.column.ty.width();
-        Ok(Value::decode(
-            &self.column.ty,
-            &self.buf[off..off + width],
-        ))
+        Ok(Value::decode(&self.column.ty, &self.buf[off..off + width]))
     }
 
     /// Next value in sequence (plain full scan).
@@ -282,7 +279,10 @@ impl FlashTable {
         while row < n_rows {
             let on_page = rpp.min(n_rows - row);
             for i in 0..on_page {
-                fill(row + i, &mut image[i as usize * size..(i as usize + 1) * size]);
+                fill(
+                    row + i,
+                    &mut image[i as usize * size..(i as usize + 1) * size],
+                );
             }
             dev.write(segment.lpn(page)?, &image[..on_page as usize * size])?;
             row += on_page;
@@ -439,8 +439,7 @@ impl FlashTableReader {
         let (page, off) = self.table.layout.locate(row, self.page_size);
         if self.buffered_page != Some(page) {
             let rpp = self.table.layout.rows_per_page(self.page_size) as u64;
-            let rows_on_page =
-                ((self.table.rows - page * rpp) as usize).min(rpp as usize);
+            let rows_on_page = ((self.table.rows - page * rpp) as usize).min(rpp as usize);
             let used = rows_on_page * self.table.layout.size();
             dev.read(self.table.segment.lpn(page)?, 0, &mut self.buf[..used])?;
             self.buffered_page = Some(page);
@@ -459,8 +458,7 @@ impl FlashTableReader {
         let (page, off) = self.table.layout.locate(row, self.page_size);
         if self.buffered_page != Some(page) {
             let rpp = self.table.layout.rows_per_page(self.page_size) as u64;
-            let rows_on_page =
-                ((self.table.rows - page * rpp) as usize).min(rpp as usize);
+            let rows_on_page = ((self.table.rows - page * rpp) as usize).min(rpp as usize);
             let used = rows_on_page * self.table.layout.size();
             dev.read(self.table.segment.lpn(page)?, 0, &mut self.buf[..used])?;
             self.buffered_page = Some(page);
@@ -593,7 +591,9 @@ mod tests {
     fn random_row_read() {
         let (mut dev, mut alloc, _ram) = setup();
         let layout = RowLayout::ids(1);
-        let rows: Vec<Vec<u8>> = (0..300u32).map(|i| (i * 5).to_le_bytes().to_vec()).collect();
+        let rows: Vec<Vec<u8>> = (0..300u32)
+            .map(|i| (i * 5).to_le_bytes().to_vec())
+            .collect();
         let table = FlashTable::bulk_load(
             &mut dev,
             &mut alloc,

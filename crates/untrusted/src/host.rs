@@ -117,10 +117,12 @@ mod tests {
         s.set_table(
             0,
             VisibleTable {
-                columns: vec![VisibleColumn::from_gen("v1", ColumnType::char(10), 100, |i| {
-                    Value::Str(format!("{i:09}"))
-                })
-                .expect("column")],
+                columns: vec![
+                    VisibleColumn::from_gen("v1", ColumnType::char(10), 100, |i| {
+                        Value::Str(format!("{i:09}"))
+                    })
+                    .expect("column"),
+                ],
                 rows: 100,
             },
         );

@@ -55,7 +55,10 @@ impl VisibleColumn {
     /// Decode the value of one row.
     pub fn value(&self, row: Id) -> Value {
         let w = self.ty.width();
-        Value::decode(&self.ty, &self.data[row as usize * w..(row as usize + 1) * w])
+        Value::decode(
+            &self.ty,
+            &self.data[row as usize * w..(row as usize + 1) * w],
+        )
     }
 
     /// Raw encoded cell (wire shipping).
@@ -231,9 +234,8 @@ mod tests {
 
     #[test]
     fn encoded_storage_roundtrips_values() {
-        let col =
-            VisibleColumn::from_values("v", ColumnType::char(6), &[Value::Str("abc".into())])
-                .unwrap();
+        let col = VisibleColumn::from_values("v", ColumnType::char(6), &[Value::Str("abc".into())])
+            .unwrap();
         assert_eq!(col.value(0), Value::Str("abc".into()));
         assert_eq!(col.raw(0), &[b'a', b'b', b'c', 0, 0, 0]);
     }
@@ -241,6 +243,8 @@ mod tests {
     #[test]
     fn unknown_column_errors() {
         let s = store();
-        assert!(s.select(0, &[Predicate::eq("nope", Value::Int(0))]).is_err());
+        assert!(s
+            .select(0, &[Predicate::eq("nope", Value::Int(0))])
+            .is_err());
     }
 }

@@ -48,7 +48,11 @@ fn main() {
     let mut world_b = build(500_000);
     let rows_a = world_a.query(sql).expect("query A");
     let rows_b = world_b.query(sql).expect("query B");
-    println!("world A: {} result rows; world B: {} result rows", rows_a.len(), rows_b.len());
+    println!(
+        "world A: {} result rows; world B: {} result rows",
+        rows_a.len(),
+        rows_b.len()
+    );
 
     let trace_a: Vec<(String, u64, Option<Vec<u8>>)> = world_a
         .database()
@@ -72,11 +76,21 @@ fn main() {
     println!("\nsnooper's view (world A):");
     println!(
         "{}",
-        audit_transcript(world_a.database().expect("loaded").token.channel.transcript())
+        audit_transcript(
+            world_a
+                .database()
+                .expect("loaded")
+                .token
+                .channel
+                .transcript()
+        )
     );
 
     assert_eq!(trace_a, trace_b, "transcripts must be bit-identical");
-    println!("Transcripts of the two worlds are BIT-IDENTICAL ({} flows).", trace_a.len());
+    println!(
+        "Transcripts of the two worlds are BIT-IDENTICAL ({} flows).",
+        trace_a.len()
+    );
     println!("Different hidden balances, different owners, different result");
     println!("cardinalities — indistinguishable on the wire. That is the GhostDB");
     println!("guarantee: the snooper learns the query and the visible data, nothing else.");

@@ -21,8 +21,7 @@ fn main() {
     // a given (hidden-name) doctor, restricted by a visible patient
     // attribute? Executed with the optimizer's strategy choice.
     let query = ghostdb_bench_free_query(&dataset, &database);
-    let (rows, report) = Executor::run(&mut database, &query, &ExecOptions::auto())
-        .expect("query");
+    let (rows, report) = Executor::run(&mut database, &query, &ExecOptions::auto()).expect("query");
     println!(
         "\n{} result rows; simulated time {} (flash {}, wire {}), {} B shipped to the token",
         rows.len(),

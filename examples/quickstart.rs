@@ -25,7 +25,9 @@ fn main() {
     )
     .expect("DDL");
 
-    let names = ["Alice", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace", "Heidi"];
+    let names = [
+        "Alice", "Bob", "Carol", "Dan", "Eve", "Frank", "Grace", "Heidi",
+    ];
     db.insert_rows(
         "Patients",
         names

@@ -41,26 +41,50 @@ fn main() {
     db.insert_rows(
         "Products",
         vec![
-            vec![Value::Str("Turbine blade".into()), Value::Int(1200), Value::Str("alloy spec A7".into())],
-            vec![Value::Str("Control unit".into()), Value::Int(800), Value::Str("firmware rev 9".into())],
-            vec![Value::Str("Gearbox".into()), Value::Int(2500), Value::Str("ratio 1:7.3".into())],
+            vec![
+                Value::Str("Turbine blade".into()),
+                Value::Int(1200),
+                Value::Str("alloy spec A7".into()),
+            ],
+            vec![
+                Value::Str("Control unit".into()),
+                Value::Int(800),
+                Value::Str("firmware rev 9".into()),
+            ],
+            vec![
+                Value::Str("Gearbox".into()),
+                Value::Int(2500),
+                Value::Str("ratio 1:7.3".into()),
+            ],
         ],
     )
     .expect("load products");
     db.insert_rows(
         "Customers",
         vec![
-            vec![Value::Str("north".into()), Value::Str("Aurora Industries".into()), Value::Int(12)],
-            vec![Value::Str("north".into()), Value::Str("Borealis Ltd".into()), Value::Int(7)],
-            vec![Value::Str("south".into()), Value::Str("Cumulus GmbH".into()), Value::Int(15)],
+            vec![
+                Value::Str("north".into()),
+                Value::Str("Aurora Industries".into()),
+                Value::Int(12),
+            ],
+            vec![
+                Value::Str("north".into()),
+                Value::Str("Borealis Ltd".into()),
+                Value::Int(7),
+            ],
+            vec![
+                Value::Str("south".into()),
+                Value::Str("Cumulus GmbH".into()),
+                Value::Int(15),
+            ],
         ],
     )
     .expect("load customers");
     let orders: Vec<Vec<Value>> = (0..24)
         .map(|i| {
             vec![
-                Value::Int(i % 3),                      // customer
-                Value::Int((i * 7) % 3),                // product
+                Value::Int(i % 3),       // customer
+                Value::Int((i * 7) % 3), // product
                 Value::Str(format!("2026Q{}", i % 4 + 1)),
                 Value::Int(1 + i % 5),
             ]

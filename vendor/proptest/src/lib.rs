@@ -1,0 +1,175 @@
+//! Offline stub of `proptest`.
+//!
+//! Implements the subset of the proptest 1.x API the workspace tests use:
+//! the `proptest!` / `prop_oneof!` / `prop_assert*!` / `prop_assume!`
+//! macros, the [`strategy::Strategy`] trait with `prop_map`, range / tuple /
+//! `any` / `option::of` / `collection::vec` strategies, and a deterministic
+//! seeded runner. There is **no shrinking**: a failing case panics with the
+//! `Debug` rendering of its inputs. See `vendor/README.md`.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::option` — strategies over `Option<T>`.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// Strategy for `Option<S::Value>`: ~50% `None`, ~50% `Some(sample)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// `proptest::collection` — strategies over collections.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u32..100, ys in proptest::collection::vec(any::<u8>(), 1..9)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                    let mut __inputs: ::std::vec::Vec<::std::string::String> =
+                        ::std::vec::Vec::new();
+                    $(
+                        let __value = $crate::strategy::Strategy::sample(&($strat), __rng);
+                        __inputs.push(format!("{} = {:?}", stringify!($arg), &__value));
+                        let $arg = __value;
+                    )+
+                    let __case = || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    let __outcome =
+                        ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__case));
+                    $crate::test_runner::attach_inputs(__outcome, &__inputs)
+                });
+            }
+        )*
+    };
+}
+
+/// Choose uniformly between several strategies with the same `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let mut __variants: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec::Vec::new();
+        $(__variants.push(::std::boxed::Box::new($s));)+
+        $crate::strategy::Union::new(__variants)
+    }};
+}
+
+/// Assert inside a property; failure reports the case instead of panicking
+/// through the harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_eq!($left, $right, "")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right` ({})\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*),
+                __l,
+                __r,
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_ne!($left, $right, "")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left != right` ({})\n  both: {:?}",
+                format!($($fmt)*),
+                __l,
+            )));
+        }
+    }};
+}
+
+/// Discard the current case unless `cond` holds (counts as a rejection, not
+/// a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,145 @@
+//! Deterministic case runner for the [`crate::proptest!`] macro.
+
+use std::fmt;
+
+/// Runner configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of *accepted* cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is violated — the whole test fails.
+    Fail(String),
+    /// The inputs do not satisfy a `prop_assume!` — the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Per-case outcome used by generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic test RNG (SplitMix64 seeded from the test name + case
+/// index), so `cargo test` is reproducible run-to-run with no seed files.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test named `name`.
+    pub fn deterministic(name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Post-process one case outcome for the `proptest!` macro: rewrite a body
+/// panic into a [`TestCaseError::Fail`] and append the `Debug` rendering of
+/// the sampled inputs to any failure, so the runner's panic names the case
+/// that broke.
+pub fn attach_inputs(
+    outcome: std::thread::Result<TestCaseResult>,
+    inputs: &[String],
+) -> TestCaseResult {
+    let result = match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(TestCaseError::Fail(format!("body panicked: {msg}")))
+        }
+    };
+    result.map_err(|e| match e {
+        TestCaseError::Fail(m) => {
+            TestCaseError::Fail(format!("{m}\n  inputs: {}", inputs.join(", ")))
+        }
+        reject => reject,
+    })
+}
+
+/// Drive one property: sample cases until `config.cases` pass, panicking on
+/// the first failure. Rejections retry with fresh inputs, up to a cap.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let max_rejects = config.cases as u64 * 16 + 1024;
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    let mut index = 0u64;
+    while accepted < config.cases {
+        let mut rng = TestRng::deterministic(name, index);
+        index += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{name}: too many rejected cases ({rejected}) — weaken prop_assume!"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case #{} failed: {msg}", index - 1)
+            }
+        }
+    }
+}

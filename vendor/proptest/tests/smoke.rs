@@ -1,0 +1,96 @@
+//! Behavioral smoke tests of the proptest stub itself: the macros compile,
+//! cases are deterministic, and failures report the sampled inputs.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ranges_and_tuples_respect_bounds(
+        x in 5u32..10,
+        y in 0usize..=3,
+        (a, b) in (0u64..4, any::<bool>()),
+        v in proptest::collection::vec(0u8..7, 1..5),
+        o in proptest::option::of(1u16..9),
+    ) {
+        prop_assert!((5..10).contains(&x));
+        prop_assert!(y <= 3);
+        prop_assert!(a < 4);
+        let _ = b;
+        prop_assert!(!v.is_empty() && v.len() < 5 && v.iter().all(|e| *e < 7));
+        if let Some(i) = o {
+            prop_assert!((1..9).contains(&i));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose(
+        n in prop_oneof![
+            (0u32..10).prop_map(|v| v * 2),
+            (100u32..110).prop_map(|v| v + 1),
+        ],
+    ) {
+        prop_assert!(n < 20 || (101..111).contains(&n), "n = {n}");
+    }
+}
+
+// No `#[test]` attribute: `proptest!` emits plain functions we can invoke
+// under `catch_unwind` to observe the failure path.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    fn always_fails(x in 0u32..10) {
+        prop_assert!(x > 100, "boom");
+    }
+
+    fn body_panics(x in 0u32..10) {
+        // Not `panic!` as the tail statement: the macro appends `Ok(())`,
+        // which must stay statically reachable.
+        if x < 10 {
+            panic!("deliberate");
+        }
+    }
+}
+
+fn panic_message(f: impl Fn() + std::panic::UnwindSafe) -> String {
+    let payload = std::panic::catch_unwind(f).expect_err("property must fail");
+    match payload.downcast_ref::<String>() {
+        Some(s) => s.clone(),
+        None => payload
+            .downcast_ref::<&str>()
+            .expect("panic msg")
+            .to_string(),
+    }
+}
+
+#[test]
+fn failing_case_reports_its_inputs() {
+    let msg = panic_message(always_fails);
+    assert!(msg.contains("boom"), "assertion message surfaces: {msg}");
+    assert!(msg.contains("inputs: x = "), "inputs are echoed: {msg}");
+}
+
+#[test]
+fn body_panic_is_caught_and_reports_inputs() {
+    let msg = panic_message(body_panics);
+    assert!(msg.contains("body panicked"), "panic is rewritten: {msg}");
+    assert!(msg.contains("inputs: x = "), "inputs are echoed: {msg}");
+}
+
+#[test]
+fn failures_are_deterministic_run_to_run() {
+    assert_eq!(panic_message(always_fails), panic_message(always_fails));
+}
+
+#[test]
+fn rejections_resample_instead_of_failing() {
+    // Assume away half the space; the runner must still accept 32 cases.
+    proptest::test_runner::run_cases(&ProptestConfig::with_cases(32), "reject_half", |rng| {
+        let x = proptest::strategy::Strategy::sample(&(0u32..100), rng);
+        if x % 2 == 0 {
+            return Err(TestCaseError::reject("even"));
+        }
+        Ok(())
+    });
+}

@@ -1,0 +1,13 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace only ever *derives* `Serialize` / `Deserialize` (no code
+//! serializes anything yet), so the traits are empty markers and the derives
+//! are no-ops that emit empty impls. See `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}

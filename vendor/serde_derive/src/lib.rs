@@ -1,0 +1,113 @@
+//! Offline no-op `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Emits an empty impl of the corresponding marker trait from the vendored
+//! `serde` stub. Written against `proc_macro` directly (no `syn`/`quote`,
+//! which are unavailable offline); supports plain and generic structs/enums.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Deserialize")
+}
+
+/// Extract `(name, generic_params)` from a `struct`/`enum`/`union` item and
+/// emit `impl<params> serde::Trait for Name<args> {}`.
+fn derive_marker(input: TokenStream, trait_name: &str) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes / visibility until the item keyword, then grab the name.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => {
+                        name = Some(n.to_string());
+                        break;
+                    }
+                    _ => panic!("derive({trait_name}): expected a type name after `{kw}`"),
+                }
+            }
+        }
+    }
+    let name = name.unwrap_or_else(|| panic!("derive({trait_name}): no struct/enum found"));
+
+    // Collect raw generic parameter tokens between the outermost `<` … `>`.
+    let mut params = String::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            params.push_str(&tt.to_string());
+            params.push(' ');
+        }
+    }
+
+    let impl_block = if params.is_empty() {
+        format!("impl serde::{trait_name} for {name} {{}}")
+    } else {
+        // Strip defaults (`T = Foo`) and bounds are kept as-is; for the
+        // argument list keep only the parameter names/lifetimes.
+        let args = generic_args(&params);
+        format!("impl<{params}> serde::{trait_name} for {name}<{args}> {{}}")
+    };
+    impl_block
+        .parse()
+        .expect("derive: generated impl must parse")
+}
+
+/// Reduce a generic *parameter* list (`'a, T: Clone, const N: usize`) to the
+/// matching *argument* list (`'a, T, N`).
+fn generic_args(params: &str) -> String {
+    let mut args = Vec::new();
+    for part in split_top_level_commas(params) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let head = part.split([':', '=']).next().unwrap_or(part).trim();
+        let head = head.strip_prefix("const").unwrap_or(head).trim();
+        args.push(head.to_string());
+    }
+    args.join(", ")
+}
+
+/// Split on commas that are not nested inside `<…>` or `(…)`.
+fn split_top_level_commas(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0isize;
+    for c in s.chars() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    out.push(cur);
+    out
+}
