@@ -1,0 +1,554 @@
+//! Wall-clock performance baseline for the repo: runs a deterministic
+//! scenario matrix (synthetic scales × filtering strategies × projection
+//! algorithms, plus the medical workload and per-operator microbenches)
+//! and writes a machine-readable `BENCH.json` — the number every future
+//! perf PR is judged against.
+//!
+//! ```text
+//! perfbench [--smoke] [--out BENCH.json] [--scale F] [--scale2 F]
+//!           [--medical-scale F] [--iters N]
+//! perfbench --check BENCH.json
+//! ```
+//!
+//! Timing is `std::time::Instant` with warmup + median-of-N; simulated
+//! times ride along from the Table 1 cost model (deterministic). The
+//! microbenches measure each optimised operator against its naive
+//! reference implementation, so the harness output itself carries the
+//! before/after evidence for every hot-path change.
+
+use ghostdb_bench::json::{check_bench, Json};
+use ghostdb_bench::perf::{bench_doc, measure, BenchEntry, RunStats};
+use ghostdb_bench::{build_medical, build_synthetic, medical_q, query_q, run_with};
+use ghostdb_bloom::hash::hash_i;
+use ghostdb_bloom::BloomFilter;
+use ghostdb_exec::merge::{merge_to_vec, merge_to_vec_streaming};
+use ghostdb_exec::project::ProjectAlgo;
+use ghostdb_exec::sjoin::sjoin_stream;
+use ghostdb_exec::source::{IdSource, NaiveUnionStream, UnionStream};
+use ghostdb_exec::strategy::VisStrategy;
+use ghostdb_exec::{ExecCtx, ExecReport};
+use ghostdb_flash::{FlashDevice, FlashGeometry, FlashTiming, SegmentAllocator};
+use ghostdb_index::{ClimbingSpec, FkData, IndexBuilder, LevelSpec};
+use ghostdb_storage::idlist::write_id_list;
+use ghostdb_storage::schema::paper_synthetic_schema;
+use ghostdb_storage::Id;
+use ghostdb_token::RamArena;
+use std::rc::Rc;
+
+const USAGE: &str = "\
+perfbench — wall-clock performance baseline emitting BENCH.json
+
+USAGE:
+    perfbench [--smoke] [--out PATH] [--scale F] [--scale2 F]
+              [--medical-scale F] [--iters N]
+    perfbench --check PATH
+
+OPTIONS:
+    --smoke            reduced matrix (one synthetic scale, fewer
+                       iterations) targeting < 60 s — the CI configuration
+    --out PATH         where to write BENCH.json (default BENCH.json)
+    --scale F          first synthetic scale (default 0.01, T0 = 100 000;
+                       smoke 0.002)
+    --scale2 F         second synthetic scale, full mode only
+                       (default 0.05, T0 = 500 000)
+    --medical-scale F  medical dataset scale (default 0.2; smoke 0.01)
+    --iters N          timed iterations per scenario (default 5; smoke 3)
+    --check PATH       validate an existing BENCH.json and exit
+    -h, --help         print this help and exit
+
+The scenario set is a pure function of the flags: two runs with the same
+flags emit the same scenarios in the same order (fixed dataset seeds, fixed
+matrix). Wall times are medians over the timed iterations; simulated times
+come from the Table 1 cost model and are bit-identical across runs.";
+
+struct Opts {
+    smoke: bool,
+    out: String,
+    scale: f64,
+    scale2: f64,
+    medical_scale: f64,
+    iters: usize,
+    check: Option<String>,
+}
+
+fn usage_error(msg: &str) -> ! {
+    ghostdb_bench::cli::usage_error(msg, USAGE)
+}
+
+fn parse_positive(flag: &str, raw: &str) -> f64 {
+    ghostdb_bench::cli::parse_positive(flag, raw, USAGE)
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        out: "BENCH.json".into(),
+        scale: 0.0, // resolved after --smoke is known
+        scale2: 0.05,
+        medical_scale: 0.0, // resolved after --smoke is known
+        iters: 0,           // resolved after --smoke is known
+        check: None,
+    };
+    let mut scale_set = false;
+    let mut scale2_set = false;
+    let mut medical_set = false;
+    let mut iters_set = false;
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |args: &[String], i: usize| -> String {
+        match args.get(i + 1) {
+            Some(v) => v.clone(),
+            None => usage_error(&format!("{} requires a value", args[i])),
+        }
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--smoke" => {
+                opts.smoke = true;
+                i += 1;
+            }
+            "--out" => {
+                opts.out = value_of(&args, i);
+                i += 2;
+            }
+            "--scale" => {
+                opts.scale = parse_positive("--scale", &value_of(&args, i));
+                scale_set = true;
+                i += 2;
+            }
+            "--scale2" => {
+                opts.scale2 = parse_positive("--scale2", &value_of(&args, i));
+                scale2_set = true;
+                i += 2;
+            }
+            "--medical-scale" => {
+                opts.medical_scale = parse_positive("--medical-scale", &value_of(&args, i));
+                medical_set = true;
+                i += 2;
+            }
+            "--iters" => {
+                let v = parse_positive("--iters", &value_of(&args, i));
+                if v.fract() != 0.0 {
+                    usage_error("--iters must be an integer");
+                }
+                opts.iters = v as usize;
+                iters_set = true;
+                i += 2;
+            }
+            "--check" => {
+                opts.check = Some(value_of(&args, i));
+                i += 2;
+            }
+            other => usage_error(&format!("unknown argument {other}")),
+        }
+    }
+    if !scale_set {
+        opts.scale = if opts.smoke { 0.002 } else { 0.01 };
+    }
+    if !medical_set {
+        opts.medical_scale = if opts.smoke { 0.01 } else { 0.2 };
+    }
+    if !iters_set {
+        opts.iters = if opts.smoke { 3 } else { 5 };
+    }
+    // Degenerate matrices fail fast instead of after minutes of benching:
+    // equal scales would emit duplicate scenario names (rejected by the
+    // schema), and --scale2 is silently dead weight under --smoke.
+    if opts.smoke && scale2_set {
+        usage_error("--scale2 has no effect with --smoke (one synthetic scale)");
+    }
+    if !opts.smoke && opts.scale == opts.scale2 {
+        usage_error("--scale and --scale2 must differ (duplicate scenarios)");
+    }
+    opts
+}
+
+fn run_check(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perfbench --check: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("perfbench --check: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    match check_bench(&doc) {
+        Ok(s) => {
+            println!(
+                "{path}: OK — {} entries ({} query scenarios, {} microbenches)",
+                s.entries, s.scenarios, s.micro
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("perfbench --check: {path} violates the BENCH schema: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn report_stats(report: &ExecReport) -> RunStats {
+    RunStats {
+        simulated_s: report.total().as_secs(),
+        ops: report.result_rows,
+        bytes_io: report.io.bytes_to_ram + report.io.bytes_from_ram,
+    }
+}
+
+/// The synthetic query matrix at one scale: full `VisStrategy` sweep under
+/// `Project`, plus the full sweep under `BruteForce`.
+fn synthetic_scenarios(scale: f64, warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
+    eprintln!("perfbench: building synthetic dataset (scale {scale})...");
+    let (ds, mut db) = build_synthetic(scale);
+    let strategies = [
+        VisStrategy::Pre,
+        VisStrategy::CrossPre,
+        VisStrategy::Post,
+        VisStrategy::CrossPost,
+        VisStrategy::PostSelect,
+        VisStrategy::CrossPostSelect,
+        VisStrategy::NoFilter,
+    ];
+    for algo in [ProjectAlgo::Project, ProjectAlgo::BruteForce] {
+        for strategy in strategies {
+            let q = query_q(&ds, &db, 0.01, false);
+            let name = format!("synthetic/x{scale}/{}/{}", strategy.name(), algo.name());
+            eprintln!("perfbench: {name}");
+            out.push(measure(name, warmup, iters, || {
+                report_stats(&run_with(&mut db, &q, strategy, algo))
+            }));
+        }
+    }
+}
+
+fn medical_scenarios(scale: f64, warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
+    eprintln!("perfbench: building medical dataset (scale {scale})...");
+    let (ds, mut db) = build_medical(scale);
+    for strategy in [VisStrategy::CrossPre, VisStrategy::CrossPost] {
+        let q = medical_q(&ds, &db, 0.05);
+        let name = format!("medical/x{scale}/{}", strategy.name());
+        eprintln!("perfbench: {name}");
+        out.push(measure(name, warmup, iters, || {
+            report_stats(&run_with(&mut db, &q, strategy, ProjectAlgo::Project))
+        }));
+    }
+}
+
+fn micro_device() -> (FlashDevice, SegmentAllocator, RamArena) {
+    let dev = FlashDevice::new(
+        FlashGeometry::for_capacity(64 * 1024 * 1024),
+        FlashTiming::default(),
+    );
+    let alloc = SegmentAllocator::new(dev.logical_pages());
+    (dev, alloc, RamArena::paper_default())
+}
+
+/// k-way union: naive scan-per-element vs binary heap, over 16 flash lists.
+fn micro_union(warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
+    let (mut dev, mut alloc, ram) = micro_device();
+    let sources: Vec<IdSource> = (0..16u32)
+        .map(|k| {
+            let ids: Vec<Id> = (0..4000u32).map(|i| i * (k % 5 + 1) + k).collect();
+            IdSource::Flash(write_id_list(&mut dev, &mut alloc, &ram, &ids).unwrap())
+        })
+        .collect();
+    out.push(measure("micro/merge/union16_naive", warmup, iters, || {
+        let mut u = NaiveUnionStream::open(&sources, &ram, dev.page_size()).unwrap();
+        let mut n = 0u64;
+        while u.next(&mut dev).unwrap().is_some() {
+            n += 1;
+        }
+        RunStats {
+            ops: n,
+            ..Default::default()
+        }
+    }));
+    out.push(measure("micro/merge/union16_heap", warmup, iters, || {
+        let mut u = UnionStream::open(&sources, &ram, dev.page_size()).unwrap();
+        let mut n = 0u64;
+        while u.next(&mut dev).unwrap().is_some() {
+            n += 1;
+        }
+        RunStats {
+            ops: n,
+            ..Default::default()
+        }
+    }));
+}
+
+/// Host-resident CNF merge: streaming machinery vs galloping fast path.
+fn micro_intersect(warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
+    let mut db = ghostdb_exec::testkit::tiny_db();
+    let a: Rc<Vec<Id>> = Rc::new((0..200_000u32).map(|i| i * 2).collect());
+    let b: Rc<Vec<Id>> = Rc::new((0..200_000u32).map(|i| i * 3).collect());
+    let groups = |a: &Rc<Vec<Id>>, b: &Rc<Vec<Id>>| {
+        vec![
+            vec![IdSource::Host(a.clone())],
+            vec![IdSource::Host(b.clone())],
+        ]
+    };
+    out.push(measure(
+        "micro/idlist/intersect_stream",
+        warmup,
+        iters,
+        || {
+            let mut ctx = ExecCtx::new(&mut db);
+            let ids = merge_to_vec_streaming(&mut ctx, groups(&a, &b)).unwrap();
+            RunStats {
+                ops: ids.len() as u64,
+                ..Default::default()
+            }
+        },
+    ));
+    out.push(measure(
+        "micro/idlist/intersect_gallop",
+        warmup,
+        iters,
+        || {
+            let mut ctx = ExecCtx::new(&mut db);
+            let ids = merge_to_vec(&mut ctx, groups(&a, &b)).unwrap();
+            RunStats {
+                ops: ids.len() as u64,
+                ..Default::default()
+            }
+        },
+    ));
+}
+
+/// Bloom build + probe: per-index rehashing vs single-pair double hashing.
+fn micro_bloom(warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
+    let n = 100_000u64;
+    let m_bits = 8 * n;
+    let k = 4u32;
+    let bytes = (m_bits as usize).div_ceil(8);
+    out.push(measure("micro/bloom/build_naive", warmup, iters, || {
+        let mut bits = vec![0u8; bytes];
+        for key in 0..n {
+            for i in 0..k {
+                let bit = hash_i(key, i) % m_bits;
+                bits[(bit / 8) as usize] |= 1u8 << (bit % 8);
+            }
+        }
+        std::hint::black_box(&bits);
+        RunStats {
+            ops: n,
+            ..Default::default()
+        }
+    }));
+    out.push(measure("micro/bloom/build_dh", warmup, iters, || {
+        let mut bf = BloomFilter::new(vec![0u8; bytes], m_bits, k);
+        for key in 0..n {
+            bf.insert(key);
+        }
+        std::hint::black_box(&bf);
+        RunStats {
+            ops: n,
+            ..Default::default()
+        }
+    }));
+
+    let mut bf = BloomFilter::new(vec![0u8; bytes], m_bits, k);
+    let mut naive_bits = vec![0u8; bytes];
+    for key in (0..2 * n).step_by(2) {
+        bf.insert(key);
+        for i in 0..k {
+            let bit = hash_i(key, i) % m_bits;
+            naive_bits[(bit / 8) as usize] |= 1u8 << (bit % 8);
+        }
+    }
+    let probes: Vec<u64> = (0..2 * n).collect();
+    let mut naive_scratch: Vec<u64> = Vec::new();
+    out.push(measure("micro/bloom/probe_naive", warmup, iters, || {
+        naive_scratch.clear();
+        naive_scratch.extend(probes.iter().copied().filter(|&key| {
+            (0..k).all(|i| {
+                let bit = hash_i(key, i) % m_bits;
+                naive_bits[(bit / 8) as usize] & (1u8 << (bit % 8)) != 0
+            })
+        }));
+        std::hint::black_box(naive_scratch.len());
+        RunStats {
+            ops: probes.len() as u64,
+            ..Default::default()
+        }
+    }));
+    let mut scratch: Vec<u64> = Vec::new();
+    out.push(measure("micro/bloom/probe_dh", warmup, iters, || {
+        bf.retain_into(&probes, &mut scratch);
+        std::hint::black_box(scratch.len());
+        RunStats {
+            ops: probes.len() as u64,
+            ..Default::default()
+        }
+    }));
+}
+
+/// Climbing-index equality probes: per-id descents vs the batched
+/// ascending run sharing the cached leaf.
+fn micro_ci_probe(warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
+    let schema = paper_synthetic_schema(1, 1);
+    let (mut dev, mut alloc, ram) = micro_device();
+    let t0 = schema.table_id("T0").unwrap();
+    let t1 = schema.table_id("T1").unwrap();
+    let t2 = schema.table_id("T2").unwrap();
+    let t11 = schema.table_id("T11").unwrap();
+    let t12 = schema.table_id("T12").unwrap();
+    let (n0, n1) = (40_000u64, 20_000u64);
+    let mut rows = vec![0u64; schema.len()];
+    rows[t0] = n0;
+    rows[t1] = n1;
+    rows[t2] = 10;
+    rows[t11] = 5;
+    rows[t12] = 4;
+    let mut fks = FkData::default();
+    fks.insert(t0, t1, (0..n0).map(|i| (i / 2) as Id).collect());
+    fks.insert(t0, t2, (0..n0).map(|i| (i % 10) as Id).collect());
+    fks.insert(t1, t11, (0..n1).map(|i| (i % 5) as Id).collect());
+    fks.insert(t1, t12, (0..n1).map(|i| (i % 4) as Id).collect());
+    let builder = IndexBuilder::new(schema, rows, fks);
+    let keys: Vec<u64> = (0..n1).map(|r| r % 5000).collect();
+    let ci = builder
+        .build_climbing(
+            &mut dev,
+            &mut alloc,
+            ClimbingSpec {
+                table: t1,
+                column: "h1",
+                keys: &keys,
+                levels: LevelSpec::FullClimb,
+                exact: true,
+            },
+        )
+        .unwrap();
+    let probes: Vec<u64> = (0..2000u64).map(|i| i * 2).collect();
+    out.push(measure("micro/ci/probe_scalar", warmup, iters, || {
+        let mut probe = ci.probe(&ram).unwrap();
+        let mut found = 0u64;
+        for &key in &probes {
+            if probe.lookup_eq(&mut dev, key, 1).unwrap().is_some() {
+                found += 1;
+            }
+        }
+        RunStats {
+            ops: found,
+            ..Default::default()
+        }
+    }));
+    out.push(measure("micro/ci/probe_run", warmup, iters, || {
+        let mut probe = ci.probe(&ram).unwrap();
+        let lists = probe.lookup_eq_run(&mut dev, &probes, 1).unwrap();
+        RunStats {
+            ops: lists.len() as u64,
+            ..Default::default()
+        }
+    }));
+}
+
+/// SJoin stream throughput over the synthetic SKT.
+fn micro_sjoin(scale: f64, warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
+    let (_, mut db) = build_synthetic(scale);
+    let root = db.schema.root();
+    let t1 = db.schema.table_id("T1").unwrap();
+    let t12 = db.schema.table_id("T12").unwrap();
+    let rows = db.rows[root].min(20_000);
+    out.push(measure("micro/sjoin/stream", warmup, iters, || {
+        let mut ctx = ExecCtx::new(&mut db);
+        let skt = ctx.skt(root).unwrap();
+        let mut next = 0 as Id;
+        let emitted = sjoin_stream(
+            &mut ctx,
+            skt,
+            &[t1, t12],
+            |_ctx| {
+                if (next as u64) < rows {
+                    let v = next;
+                    next += 1;
+                    Ok(Some(v))
+                } else {
+                    Ok(None)
+                }
+            },
+            |_ctx, _id, _targets| Ok(()),
+        )
+        .unwrap();
+        RunStats {
+            ops: emitted,
+            ..Default::default()
+        }
+    }));
+}
+
+/// Print the naive-vs-optimised pairs: the measured improvement every
+/// operator optimisation banks, straight from the harness output.
+fn print_improvements(entries: &[BenchEntry]) {
+    let wall = |name: &str| -> Option<u128> {
+        entries
+            .iter()
+            .find(|e| e.scenario == name)
+            .map(|e| e.wall_ns)
+    };
+    println!("\noperator improvements (median wall time, naive → optimised):");
+    for (naive, opt) in [
+        ("micro/merge/union16_naive", "micro/merge/union16_heap"),
+        ("micro/bloom/build_naive", "micro/bloom/build_dh"),
+        ("micro/bloom/probe_naive", "micro/bloom/probe_dh"),
+        ("micro/ci/probe_scalar", "micro/ci/probe_run"),
+        (
+            "micro/idlist/intersect_stream",
+            "micro/idlist/intersect_gallop",
+        ),
+    ] {
+        if let (Some(a), Some(b)) = (wall(naive), wall(opt)) {
+            println!(
+                "  {naive:<34} {:>12} ns  →  {:>12} ns  ({:.2}x)",
+                a,
+                b,
+                a as f64 / b.max(1) as f64
+            );
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    if let Some(path) = &opts.check {
+        run_check(path);
+    }
+    let mode = if opts.smoke { "smoke" } else { "full" };
+    let warmup = 1usize;
+    let iters = opts.iters;
+    eprintln!("perfbench: mode {mode}, {iters} timed iterations per scenario (+{warmup} warmup)");
+
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    synthetic_scenarios(opts.scale, warmup, iters, &mut entries);
+    if !opts.smoke {
+        synthetic_scenarios(opts.scale2, warmup, iters, &mut entries);
+    }
+    medical_scenarios(opts.medical_scale, warmup, iters, &mut entries);
+
+    eprintln!("perfbench: operator microbenches...");
+    micro_union(warmup, iters, &mut entries);
+    micro_intersect(warmup, iters, &mut entries);
+    micro_bloom(warmup, iters, &mut entries);
+    micro_ci_probe(warmup, iters, &mut entries);
+    micro_sjoin(opts.scale, warmup, iters, &mut entries);
+
+    let doc = bench_doc(mode, &entries);
+    let summary = check_bench(&doc).unwrap_or_else(|e| {
+        eprintln!("perfbench: generated document violates its own schema: {e}");
+        std::process::exit(1);
+    });
+    std::fs::write(&opts.out, doc.render()).unwrap_or_else(|e| {
+        eprintln!("perfbench: cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    });
+    println!(
+        "wrote {} — {} entries ({} query scenarios, {} microbenches)",
+        opts.out, summary.entries, summary.scenarios, summary.micro
+    );
+    print_improvements(&entries);
+}

@@ -33,8 +33,15 @@ const FIGURES: [&str; 12] = [
 ];
 
 fn usage_error(msg: &str) -> ! {
-    eprintln!("{msg}\n\n{USAGE}");
-    std::process::exit(2);
+    ghostdb_bench::cli::usage_error(msg, USAGE)
+}
+
+/// Parse a scale flag: must be a finite, strictly positive number. Zero or
+/// negative scales used to slip through and silently produce degenerate
+/// datasets (every table clamped to its floor cardinality) — reject them
+/// loudly instead.
+fn parse_scale(flag: &str, raw: &str) -> f64 {
+    ghostdb_bench::cli::parse_positive(flag, raw, USAGE)
 }
 
 fn parse_args() -> (f64, f64, String) {
@@ -56,15 +63,11 @@ fn parse_args() -> (f64, f64, String) {
                 std::process::exit(0);
             }
             "--scale" => {
-                scale = value_of(&args, i)
-                    .parse()
-                    .unwrap_or_else(|_| usage_error("bad --scale (expected a number)"));
+                scale = parse_scale("--scale", &value_of(&args, i));
                 i += 2;
             }
             "--medical-scale" => {
-                med_scale = value_of(&args, i)
-                    .parse()
-                    .unwrap_or_else(|_| usage_error("bad --medical-scale (expected a number)"));
+                med_scale = parse_scale("--medical-scale", &value_of(&args, i));
                 i += 2;
             }
             "--figure" => {

@@ -1,0 +1,24 @@
+//! Shared flag handling for the crate's binaries (`repro`, `perfbench`):
+//! usage errors exit 2, numeric flags must be finite and strictly positive
+//! (zero/negative scales used to slip through and silently produce
+//! degenerate datasets).
+
+/// Print `msg` plus the binary's usage text and exit 2.
+pub fn usage_error(msg: &str, usage: &str) -> ! {
+    eprintln!("{msg}\n\n{usage}");
+    std::process::exit(2);
+}
+
+/// Parse a numeric flag value that must be finite and > 0.
+pub fn parse_positive(flag: &str, raw: &str, usage: &str) -> f64 {
+    let v: f64 = raw
+        .parse()
+        .unwrap_or_else(|_| usage_error(&format!("bad {flag} (expected a number)"), usage));
+    if !v.is_finite() || v <= 0.0 {
+        usage_error(
+            &format!("{flag} must be a positive number, got {raw}"),
+            usage,
+        );
+    }
+    v
+}

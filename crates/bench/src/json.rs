@@ -1,0 +1,449 @@
+//! Minimal JSON for the perf harness — writer, parser and the `BENCH.json`
+//! schema checker. Dependency-free on purpose: the benchmark binary must
+//! not pull crates whose own cost or availability could perturb or block
+//! the measurement path (the workspace's vendored `serde` stub has no
+//! `serde_json` companion anyway).
+
+use std::fmt::Write as _;
+
+/// A JSON value. Numbers are `f64`; every quantity BENCH.json carries
+/// (nanoseconds, byte counts, row counts) stays far below 2^53, so the
+/// representation is exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Render with two-space indentation (stable, diff-friendly output for
+    /// a file committed as a perf-trajectory artifact).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => render_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.render_into(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    render_string(out, k);
+                    out.push_str(": ");
+                    v.render_into(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document (strict enough for round-tripping BENCH.json;
+    /// rejects trailing garbage).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut at = 0usize;
+        let v = parse_value(bytes, &mut at)?;
+        skip_ws(bytes, &mut at);
+        if at != bytes.len() {
+            return Err(format!("trailing garbage at byte {at}"));
+        }
+        Ok(v)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], at: &mut usize) {
+    while *at < b.len() && matches!(b[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn expect(b: &[u8], at: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*at..].starts_with(lit.as_bytes()) {
+        *at += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected {lit:?} at byte {at}", at = *at))
+    }
+}
+
+fn parse_value(b: &[u8], at: &mut usize) -> Result<Json, String> {
+    skip_ws(b, at);
+    match b.get(*at) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(b, at, "null").map(|_| Json::Null),
+        Some(b't') => expect(b, at, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => expect(b, at, "false").map(|_| Json::Bool(false)),
+        Some(b'"') => parse_string(b, at).map(Json::Str),
+        Some(b'[') => {
+            *at += 1;
+            let mut items = Vec::new();
+            skip_ws(b, at);
+            if b.get(*at) == Some(&b']') {
+                *at += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, at)?);
+                skip_ws(b, at);
+                match b.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b']') => {
+                        *at += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {at}", at = *at)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *at += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, at);
+            if b.get(*at) == Some(&b'}') {
+                *at += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, at);
+                let key = parse_string(b, at)?;
+                skip_ws(b, at);
+                expect(b, at, ":")?;
+                let value = parse_value(b, at)?;
+                fields.push((key, value));
+                skip_ws(b, at);
+                match b.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b'}') => {
+                        *at += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {at}", at = *at)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, at).map(Json::Num),
+    }
+}
+
+fn parse_string(b: &[u8], at: &mut usize) -> Result<String, String> {
+    if b.get(*at) != Some(&b'"') {
+        return Err(format!("expected string at byte {at}", at = *at));
+    }
+    *at += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*at) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *at += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *at += 1;
+                match b.get(*at) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*at + 1..*at + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *at += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *at += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*at..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *at += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], at: &mut usize) -> Result<f64, String> {
+    let start = *at;
+    while *at < b.len() && matches!(b[*at], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *at += 1;
+    }
+    std::str::from_utf8(&b[start..*at])
+        .map_err(|e| e.to_string())?
+        .parse::<f64>()
+        .map_err(|_| format!("bad number at byte {start}"))
+}
+
+/// Summary of a valid BENCH.json.
+#[derive(Debug, PartialEq, Eq)]
+pub struct BenchSummary {
+    /// Total entries.
+    pub entries: usize,
+    /// Entries whose scenario starts with `micro/`.
+    pub micro: usize,
+    /// Query scenarios (everything else).
+    pub scenarios: usize,
+}
+
+/// Validate a BENCH.json document: shape, field types, non-negative
+/// numbers, unique scenario names, ≥ 12 query scenarios and ≥ 1 operator
+/// microbench (the repo's perf-trajectory floor).
+pub fn check_bench(doc: &Json) -> Result<BenchSummary, String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_num)
+        .ok_or("missing numeric schema_version")?;
+    if version != 1.0 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    doc.get("mode")
+        .and_then(Json::as_str)
+        .filter(|m| *m == "full" || *m == "smoke")
+        .ok_or("mode must be \"full\" or \"smoke\"")?;
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("missing entries array")?;
+    let mut seen: Vec<&str> = Vec::new();
+    let mut micro = 0usize;
+    for (i, e) in entries.iter().enumerate() {
+        let scenario = e
+            .get("scenario")
+            .and_then(Json::as_str)
+            .ok_or(format!("entry {i}: missing scenario string"))?;
+        if seen.contains(&scenario) {
+            return Err(format!("duplicate scenario {scenario:?}"));
+        }
+        seen.push(scenario);
+        if scenario.starts_with("micro/") {
+            micro += 1;
+        }
+        for field in ["wall_ns", "simulated_s", "ops", "bytes_io"] {
+            let v = e
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or(format!("entry {scenario:?}: missing numeric {field}"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("entry {scenario:?}: {field} = {v} out of range"));
+            }
+        }
+    }
+    let scenarios = entries.len() - micro;
+    if scenarios < 12 {
+        return Err(format!("only {scenarios} query scenarios (≥ 12 required)"));
+    }
+    if micro == 0 {
+        return Err("no micro/ operator benchmarks".into());
+    }
+    Ok(BenchSummary {
+        entries: entries.len(),
+        micro,
+        scenarios,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let doc = Json::Obj(vec![
+            ("a".into(), Json::Num(1.5)),
+            ("b".into(), Json::Str("x\"y\n".into())),
+            (
+                "c".into(),
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::Num(12345678.0)]),
+            ),
+            ("d".into(), Json::Obj(vec![])),
+        ]);
+        let text = doc.render();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2,,]").is_err());
+        assert!(Json::parse("{} extra").is_err());
+        assert!(Json::parse("").is_err());
+    }
+
+    fn entry(name: &str) -> Json {
+        Json::Obj(vec![
+            ("scenario".into(), Json::Str(name.into())),
+            ("wall_ns".into(), Json::Num(100.0)),
+            ("simulated_s".into(), Json::Num(0.5)),
+            ("ops".into(), Json::Num(10.0)),
+            ("bytes_io".into(), Json::Num(2048.0)),
+        ])
+    }
+
+    fn doc(names: &[String]) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), Json::Num(1.0)),
+            ("mode".into(), Json::Str("smoke".into())),
+            (
+                "entries".into(),
+                Json::Arr(names.iter().map(|n| entry(n)).collect()),
+            ),
+        ])
+    }
+
+    #[test]
+    fn checker_accepts_valid_and_counts() {
+        let mut names: Vec<String> = (0..12).map(|i| format!("q{i}")).collect();
+        names.push("micro/x".into());
+        let summary = check_bench(&doc(&names)).unwrap();
+        assert_eq!(
+            summary,
+            BenchSummary {
+                entries: 13,
+                micro: 1,
+                scenarios: 12
+            }
+        );
+    }
+
+    #[test]
+    fn checker_rejects_violations() {
+        // Too few scenarios.
+        let names: Vec<String> = (0..3).map(|i| format!("q{i}")).collect();
+        assert!(check_bench(&doc(&names)).is_err());
+        // Duplicate scenario.
+        let mut names: Vec<String> = (0..12).map(|i| format!("q{i}")).collect();
+        names.push("q0".into());
+        assert!(check_bench(&doc(&names)).is_err());
+        // No micro benches.
+        let names: Vec<String> = (0..12).map(|i| format!("q{i}")).collect();
+        assert!(check_bench(&doc(&names)).is_err());
+        // Negative number.
+        let mut bad = doc(&(0..12).map(|i| format!("q{i}")).collect::<Vec<_>>());
+        if let Json::Obj(fields) = &mut bad {
+            if let Json::Arr(entries) = &mut fields[2].1 {
+                if let Json::Obj(e) = &mut entries[0] {
+                    e[1].1 = Json::Num(-1.0);
+                }
+            }
+        }
+        assert!(check_bench(&bad).is_err());
+    }
+}

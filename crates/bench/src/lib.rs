@@ -7,6 +7,10 @@
 //! are deterministic; Criterion benches cover host-side wall time of the
 //! operators separately.
 
+pub mod cli;
+pub mod json;
+pub mod perf;
+
 use ghostdb_datagen::{MedicalDataset, SyntheticDataset, SyntheticSpec};
 use ghostdb_exec::project::ProjectAlgo;
 use ghostdb_exec::strategy::VisStrategy;

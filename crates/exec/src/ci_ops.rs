@@ -79,9 +79,13 @@ pub fn select_sublists_multi(
     })
 }
 
-/// `CI(I, id ∈ probe_ids, target)`: one sublist per present probe id. The
-/// probe ids must be ascending (they come from sorted visible selections or
-/// merges), which lets the cursor reuse cached upper levels.
+/// `CI(I, id ∈ probe_ids, target)`: one sublist per present probe id.
+///
+/// Probe ids are sorted once (they normally arrive ascending from sorted
+/// visible selections or merges, making the sort a single verification
+/// pass) and the whole batch walks the B+-tree strictly forward, so runs of
+/// ids falling in the same leaf are resolved in place without per-id
+/// root-to-leaf descents.
 pub fn probe_in(
     ctx: &mut ExecCtx<'_>,
     ci: &ClimbingIndex,
@@ -89,18 +93,17 @@ pub fn probe_in(
     target: TableId,
 ) -> Result<Vec<IdSource>> {
     let level = level_of(ctx, ci, target)?;
+    let mut keys: Vec<u64> = probe_ids.iter().map(|id| *id as u64).collect();
+    keys.sort_unstable();
     ctx.track(OpKind::Ci, |ctx| {
         let ram = ctx.ram();
         let mut probe = ci.probe(&ram)?;
-        let mut out = Vec::with_capacity(probe_ids.len());
-        for id in probe_ids {
-            if let Some(list) = probe.lookup_eq(&mut ctx.token.flash, *id as u64, level)? {
-                if list.count > 0 {
-                    out.push(IdSource::Flash(list));
-                }
-            }
-        }
-        Ok(out)
+        let lists = probe.lookup_eq_run(&mut ctx.token.flash, &keys, level)?;
+        Ok(lists
+            .into_iter()
+            .filter(|l| l.count > 0)
+            .map(IdSource::Flash)
+            .collect())
     })
 }
 

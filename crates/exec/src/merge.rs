@@ -14,6 +14,7 @@ use crate::error::ExecError;
 use crate::report::OpKind;
 use crate::source::{IdSource, IntersectStream, SourceReader, UnionStream};
 use crate::Result;
+use ghostdb_storage::idlist::{intersect_sorted, union_sorted};
 use ghostdb_storage::{Id, IdList, IdListWriter};
 use ghostdb_token::TokenError;
 
@@ -151,11 +152,148 @@ pub fn merge_to_list(ctx: &mut ExecCtx<'_>, groups: Vec<Vec<IdSource>>) -> Resul
 
 /// Merge straight into a host vector (used when the next consumer is a
 /// channel-style probe list; the result is small by construction).
+///
+/// When every source is a host-resident list the merge costs no flash I/O
+/// under either evaluation, so it short-circuits to galloping sorted-set
+/// operations instead of spinning up the streaming machinery — same ids,
+/// same (zero) simulated cost, far fewer host cycles. `Range` sources stay
+/// on the streaming path: it walks them in O(1) memory, while the set
+/// operations would materialise them.
 pub fn merge_to_vec(ctx: &mut ExecCtx<'_>, groups: Vec<Vec<IdSource>>) -> Result<Vec<Id>> {
+    if groups
+        .iter()
+        .all(|g| g.iter().all(|s| matches!(s, IdSource::Host(_))))
+    {
+        return Ok(merge_host_groups(&groups));
+    }
+    merge_to_vec_streaming(ctx, groups)
+}
+
+/// The streaming evaluation of [`merge_to_vec`] (always correct, charges
+/// I/O for flash sources). Public within the crate so equivalence tests
+/// and `perfbench` can pit the host fast path against it.
+pub fn merge_to_vec_streaming(
+    ctx: &mut ExecCtx<'_>,
+    groups: Vec<Vec<IdSource>>,
+) -> Result<Vec<Id>> {
     let mut stream = open_merge(ctx, groups, 0)?;
     let mut out = Vec::new();
     while let Some(id) = stream.next(ctx)? {
         out.push(id);
     }
     Ok(out)
+}
+
+/// `∩i{∪j{...}}` over host-resident sources: per-group sorted unions, then
+/// galloping intersection across groups, smallest group first so the driver
+/// side of every intersection stays minimal.
+fn merge_host_groups(groups: &[Vec<IdSource>]) -> Vec<Id> {
+    let host = |s: &IdSource| -> std::rc::Rc<Vec<Id>> {
+        match s {
+            IdSource::Host(v) => v.clone(),
+            _ => unreachable!("host fast path"),
+        }
+    };
+    let mut unions: Vec<Vec<Id>> = groups
+        .iter()
+        .map(|g| match g.len() {
+            0 => Vec::new(),
+            // union_sorted against the empty list collapses duplicates
+            // inside the single source, matching the stream.
+            1 => union_sorted(&host(&g[0]), &[]),
+            2 => union_sorted(&host(&g[0]), &host(&g[1])),
+            // Wider groups: one concat + sort + dedup instead of repeated
+            // pairwise unions re-copying the accumulator per source.
+            _ => {
+                let mut all: Vec<Id> =
+                    Vec::with_capacity(g.iter().map(|s| s.count() as usize).sum());
+                for s in g {
+                    all.extend_from_slice(&host(s));
+                }
+                all.sort_unstable();
+                all.dedup();
+                all
+            }
+        })
+        .collect();
+    unions.sort_by_key(|u| u.len());
+    let mut iter = unions.into_iter();
+    let Some(mut acc) = iter.next() else {
+        return Vec::new();
+    };
+    for u in iter {
+        if acc.is_empty() {
+            return acc;
+        }
+        acc = intersect_sorted(&acc, &u);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit;
+    use std::rc::Rc;
+
+    #[test]
+    fn host_fast_path_matches_streaming_merge() {
+        let mut db = testkit::tiny_db();
+        let groups = |dup: bool| -> Vec<Vec<IdSource>> {
+            vec![
+                // Three sources: exercises the concat+sort wide-group arm.
+                vec![
+                    IdSource::Host(Rc::new((0..200).map(|i| i * 3).collect())),
+                    IdSource::Host(Rc::new(if dup {
+                        vec![1, 1, 5, 9, 9]
+                    } else {
+                        vec![1, 5, 9]
+                    })),
+                    IdSource::Host(Rc::new(vec![4, 300])),
+                ],
+                vec![IdSource::Host(Rc::new((0..300).collect()))],
+                vec![IdSource::Host(Rc::new((0..150).map(|i| i * 2).collect()))],
+            ]
+        };
+        for dup in [false, true] {
+            let mut ctx = crate::ExecCtx::new(&mut db);
+            let fast = merge_to_vec(&mut ctx, groups(dup)).unwrap();
+            let streamed = merge_to_vec_streaming(&mut ctx, groups(dup)).unwrap();
+            assert_eq!(fast, streamed);
+            assert!(!fast.is_empty());
+        }
+    }
+
+    #[test]
+    fn range_sources_stay_on_the_streaming_path() {
+        // Ranges must not be materialised by the fast path; the result is
+        // still identical between entry point and streaming evaluation.
+        let mut db = testkit::tiny_db();
+        let groups = || -> Vec<Vec<IdSource>> {
+            vec![
+                vec![IdSource::Host(Rc::new((0..100).map(|i| i * 2).collect()))],
+                vec![IdSource::Range {
+                    start: 50,
+                    end: 180,
+                }],
+            ]
+        };
+        let mut ctx = crate::ExecCtx::new(&mut db);
+        let a = merge_to_vec(&mut ctx, groups()).unwrap();
+        let b = merge_to_vec_streaming(&mut ctx, groups()).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn empty_groups_and_empty_group_edge_cases() {
+        let mut db = testkit::tiny_db();
+        let mut ctx = crate::ExecCtx::new(&mut db);
+        assert_eq!(merge_to_vec(&mut ctx, vec![]).unwrap(), Vec::<Id>::new());
+        let groups = vec![
+            vec![IdSource::Host(Rc::new(vec![1, 2, 3]))],
+            vec![IdSource::Host(Rc::new(Vec::new()))],
+        ];
+        assert_eq!(merge_to_vec(&mut ctx, groups).unwrap(), Vec::<Id>::new());
+    }
 }

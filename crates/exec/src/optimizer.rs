@@ -54,3 +54,87 @@ pub fn decide(ctx: &ExecCtx<'_>, a: &Analyzed) -> Result<Vec<VisDecision>> {
     }
     Ok(out)
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::analyze;
+    use crate::testkit::{self, pad8, TINY_ROWS};
+    use crate::SpjQuery;
+    use ghostdb_bloom::worth_post_filtering;
+    use ghostdb_storage::{CmpOp, Predicate};
+
+    /// Decide the strategy for T1 carrying `v1 < pad8(k)` (sv = k/120),
+    /// optionally with a hidden selection on T12 (⊂ T1's subtree) making
+    /// cross-filtering applicable.
+    fn decide_t1(k: u64, with_hidden: bool) -> VisStrategy {
+        let mut db = testkit::tiny_db();
+        let t1 = db.schema.table_id("T1").unwrap();
+        let t12 = db.schema.table_id("T12").unwrap();
+        let mut q = SpjQuery::new().pred(t1, Predicate::new("v1", CmpOp::Lt, pad8(k), None));
+        if with_hidden {
+            q = q.pred(t12, Predicate::eq("h1", pad8(1)));
+        }
+        let a = analyze(&db.schema, &q).unwrap();
+        let ctx = crate::ExecCtx::new(&mut db);
+        let decisions = decide(&ctx, &a).unwrap();
+        decisions
+            .iter()
+            .find(|d| d.table == t1)
+            .expect("T1 decided")
+            .strategy
+    }
+
+    #[test]
+    fn pre_post_crossover_boundary() {
+        let n1 = TINY_ROWS[1] as f64;
+        // sv exactly at the Figure 10 cutoff stays Pre...
+        assert_eq!(6.0 / n1, PRE_POST_CUTOFF);
+        assert_eq!(decide_t1(6, false), VisStrategy::Pre);
+        // ...one row more tips it past the cutoff into Post.
+        assert_eq!(decide_t1(7, false), VisStrategy::Post);
+    }
+
+    #[test]
+    fn cross_pre_post_crossover_boundary() {
+        let n1 = TINY_ROWS[1] as f64;
+        assert_eq!(12.0 / n1, CROSS_PRE_POST_CUTOFF);
+        assert_eq!(decide_t1(12, true), VisStrategy::CrossPre);
+        assert_eq!(decide_t1(13, true), VisStrategy::CrossPost);
+    }
+
+    #[test]
+    fn saturated_bloom_falls_back_to_no_filter() {
+        // sv = 90/120 = 0.75: the filter would pass ~3/4 of the SJoin
+        // stream — Figure 10's "Post-Filter is simply not executed".
+        assert_eq!(decide_t1(90, false), VisStrategy::NoFilter);
+        // And the pure saturation case: more elements than budget bits
+        // (< 1 bit/element) makes the filter hopeless regardless of sv.
+        assert!(!worth_post_filtering(500_000, 0.01, 65_536 / 2));
+    }
+
+    #[test]
+    fn cross_needs_a_subtree_hidden_selection() {
+        // Same low selectivity: without a hidden selection below T1 the
+        // cross strategies are not applicable and plain Pre wins.
+        assert_eq!(decide_t1(2, true), VisStrategy::CrossPre);
+        assert_eq!(decide_t1(2, false), VisStrategy::Pre);
+    }
+
+    #[test]
+    fn root_table_never_crosses() {
+        // A visible selection on the root cannot cross-filter (the probe
+        // list climbs *to* the root); even with hidden selections present
+        // the decision stays in the Pre/Post family.
+        let mut db = testkit::tiny_db();
+        let t0 = db.schema.root();
+        let t12 = db.schema.table_id("T12").unwrap();
+        let q = SpjQuery::new()
+            .pred(t0, Predicate::new("v1", CmpOp::Lt, pad8(6), None))
+            .pred(t12, Predicate::eq("h1", pad8(1)));
+        let a = analyze(&db.schema, &q).unwrap();
+        let ctx = crate::ExecCtx::new(&mut db);
+        let d = decide(&ctx, &a).unwrap();
+        assert_eq!(d[0].strategy, VisStrategy::Pre);
+    }
+}

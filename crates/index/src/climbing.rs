@@ -156,6 +156,35 @@ impl CiProbe<'_> {
         }
     }
 
+    /// Batched equality probes over an **ascending** key run: one sublist
+    /// per present key, in input order. Equivalent to calling
+    /// [`lookup_eq`](Self::lookup_eq) per key, but the ascending order lets
+    /// the cursor resolve runs of keys inside the currently-buffered leaf
+    /// with an in-place binary search — no per-key root-to-leaf descent —
+    /// which is the hot path of Pre-Filter probe lists (§3.3).
+    pub fn lookup_eq_run(
+        &mut self,
+        dev: &mut FlashDevice,
+        keys: &[u64],
+        level: usize,
+    ) -> Result<Vec<IdList>> {
+        self.check_level(level)?;
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "lookup_eq_run requires ascending keys"
+        );
+        let mut out = Vec::with_capacity(keys.len());
+        for &key in keys {
+            if self
+                .cursor
+                .lookup_ascending_into(dev, key, &mut self.payload)?
+            {
+                out.push(self.index.decode_level(&self.payload, level));
+            }
+        }
+        Ok(out)
+    }
+
     /// Range probe over keys in `[lo, hi]` (inclusive): one sorted sublist
     /// per matching entry — the `{Li}` collections the paper's plans feed to
     /// `Merge`.
@@ -308,6 +337,51 @@ mod tests {
             .collect();
         assert_eq!(all[0], vec![3, 13]);
         assert_eq!(all[3], vec![6, 16]);
+    }
+
+    #[test]
+    fn batched_run_matches_scalar_probes() {
+        let schema = paper_synthetic_schema(1, 1);
+        let (mut dev, mut alloc, ram) = setup();
+        let b = tiny_builder(&schema);
+        let t1 = schema.table_id("T1").unwrap();
+        let keys: Vec<u64> = (0..20).map(|r| (r % 10) as u64).collect();
+        let ci = b
+            .build_climbing(
+                &mut dev,
+                &mut alloc,
+                ClimbingSpec {
+                    table: t1,
+                    column: "h1",
+                    keys: &keys,
+                    levels: LevelSpec::FullClimb,
+                    exact: true,
+                },
+            )
+            .unwrap();
+        // Ascending probes with hits, misses and a duplicate.
+        let probes: Vec<u64> = vec![0, 2, 2, 3, 7, 9, 11, 40];
+        for level in 0..ci.levels.len() {
+            let mut scalar = ci.probe(&ram).unwrap();
+            let snap = dev.snapshot();
+            let mut expect = Vec::new();
+            for &k in &probes {
+                if let Some(l) = scalar.lookup_eq(&mut dev, k, level).unwrap() {
+                    expect.push(l);
+                }
+            }
+            let scalar_io = dev.stats_since(&snap);
+            drop(scalar);
+            let mut batched = ci.probe(&ram).unwrap();
+            let snap = dev.snapshot();
+            let got = batched.lookup_eq_run(&mut dev, &probes, level).unwrap();
+            let batched_io = dev.stats_since(&snap);
+            assert_eq!(got, expect, "level {level}");
+            assert!(
+                batched_io.pages_read <= scalar_io.pages_read,
+                "batched run must not read more pages"
+            );
+        }
     }
 
     #[test]

@@ -265,6 +265,24 @@ impl BTreeCursor {
         &self.bufs[0][at..at + self.tree.payload_size]
     }
 
+    /// First entry index in the buffered leaf whose key is ≥ `target`
+    /// (the leaf-level lower bound shared by `seek` and the ascending
+    /// fast path — one implementation so they can never diverge).
+    fn leaf_lower_bound(&self, target: u64) -> usize {
+        let count = self.node_count(0);
+        let mut lo = 0usize;
+        let mut hi = count;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.leaf_key(mid) < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
     fn internal_entry(&self, level: usize, i: usize) -> (u64, u32) {
         let at = HEADER + i * INTERNAL_ENTRY;
         let key = u64::from_le_bytes(self.bufs[level][at..at + 8].try_into().unwrap());
@@ -298,19 +316,8 @@ impl BTreeCursor {
         }
         self.load(dev, 0, page)?;
         debug_assert_eq!(self.node_kind(0), KIND_LEAF);
-        let count = self.node_count(0);
-        let mut lo = 0usize;
-        let mut hi = count;
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            if self.leaf_key(mid) < target {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
         self.leaf_page = Some(page);
-        self.leaf_pos = lo;
+        self.leaf_pos = self.leaf_lower_bound(target);
         Ok(())
     }
 
@@ -354,6 +361,43 @@ impl BTreeCursor {
         match self.next_into(dev, &mut payload)? {
             Some(k) if k == key => Ok(Some(payload)),
             _ => Ok(None),
+        }
+    }
+
+    /// Exact-match lookup into a caller buffer, optimised for ascending
+    /// probe runs: when the leaf page already buffered covers `key`, the
+    /// whole descent is skipped and the leaf is binary-searched in place
+    /// (zero I/O, zero internal-node work); otherwise it falls back to a
+    /// full [`seek`](Self::seek). Identical results and identical pages
+    /// read either way — the fast path only elides work on pages the slow
+    /// path would find cached.
+    ///
+    /// Returns `true` (payload copied into `payload_out`) on an exact hit.
+    pub fn lookup_ascending_into(
+        &mut self,
+        dev: &mut FlashDevice,
+        key: u64,
+        payload_out: &mut [u8],
+    ) -> Result<bool> {
+        if self.pages[0].is_some() && self.node_kind(0) == KIND_LEAF {
+            let count = self.node_count(0);
+            if count > 0 && self.leaf_key(0) <= key && key <= self.leaf_key(count - 1) {
+                let lo = self.leaf_lower_bound(key);
+                if self.leaf_key(lo) == key {
+                    payload_out[..self.tree.payload_size].copy_from_slice(self.leaf_payload(lo));
+                    self.leaf_page = self.pages[0];
+                    self.leaf_pos = lo + 1;
+                    return Ok(true);
+                }
+                self.leaf_page = self.pages[0];
+                self.leaf_pos = lo;
+                return Ok(false);
+            }
+        }
+        self.seek(dev, key)?;
+        match self.next_into(dev, payload_out)? {
+            Some(k) if k == key => Ok(true),
+            _ => Ok(false),
         }
     }
 }
@@ -477,6 +521,48 @@ mod tests {
         let snap = dev.snapshot();
         cur.lookup(&mut dev, 49_000).unwrap();
         assert!(dev.stats_since(&snap).pages_read <= tree.height() as u64);
+    }
+
+    #[test]
+    fn ascending_lookup_matches_plain_lookup() {
+        let (mut dev, mut alloc, ram) = setup();
+        let tree = build(&mut dev, &mut alloc, 20_000, 3);
+        let mut plain = tree.cursor(&ram).unwrap();
+        let mut fast = tree.cursor(&ram).unwrap();
+        let mut payload = vec![0u8; 4];
+        // Mix of hits, misses and leaf-boundary crossings, ascending.
+        for probe in (0u64..60_000).step_by(7) {
+            let expect = plain.lookup(&mut dev, probe).unwrap();
+            let hit = fast
+                .lookup_ascending_into(&mut dev, probe, &mut payload)
+                .unwrap();
+            assert_eq!(hit, expect.is_some(), "probe {probe}");
+            if let Some(p) = expect {
+                assert_eq!(payload, p, "probe {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn ascending_lookup_within_cached_leaf_reads_nothing() {
+        let (mut dev, mut alloc, ram) = setup();
+        let tree = build(&mut dev, &mut alloc, 50_000, 1);
+        let mut cur = tree.cursor(&ram).unwrap();
+        let mut payload = vec![0u8; 4];
+        assert!(cur
+            .lookup_ascending_into(&mut dev, 1000, &mut payload)
+            .unwrap());
+        let snap = dev.snapshot();
+        // Neighbours live in the same leaf: the fast path must not touch
+        // flash at all, not even cached internal levels.
+        // Leaf capacity is (2048-8)/12 = 170 keys; the leaf holding 1000
+        // spans 850..=1019, so these probes all stay inside it.
+        for probe in 1001..1019 {
+            assert!(cur
+                .lookup_ascending_into(&mut dev, probe, &mut payload)
+                .unwrap());
+        }
+        assert_eq!(dev.stats_since(&snap).pages_read, 0);
     }
 
     #[test]

@@ -219,6 +219,78 @@ impl IdListReader {
     }
 }
 
+/// First index in `hay[from..]` whose value is ≥ `needle`, found by
+/// galloping (exponential probe then binary search). Cost is
+/// `O(log distance)` instead of `O(distance)`, which is what makes skewed
+/// intersections cheap: the smaller list drives, the bigger one is skipped
+/// over in leaps.
+#[inline]
+fn gallop_to(hay: &[Id], from: usize, needle: Id) -> usize {
+    if from >= hay.len() || hay[from] >= needle {
+        return from;
+    }
+    let mut step = 1usize;
+    let mut lo = from;
+    while lo + step < hay.len() && hay[lo + step] < needle {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step + 1).min(hay.len());
+    lo + 1 + hay[lo + 1..hi].partition_point(|v| *v < needle)
+}
+
+/// Intersection of two sorted, duplicate-free ID runs by galloping: the
+/// shorter run drives, the longer is leapt over exponentially. Host-side
+/// only — flash-resident runs go through the streaming `Merge` machinery,
+/// which charges I/O.
+pub fn intersect_sorted(a: &[Id], b: &[Id]) -> Vec<Id> {
+    let (drive, other) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(drive.len());
+    let mut at = 0usize;
+    for &x in drive {
+        at = gallop_to(other, at, x);
+        if at >= other.len() {
+            break;
+        }
+        if other[at] == x {
+            out.push(x);
+            at += 1;
+        }
+    }
+    out
+}
+
+/// Union of two sorted ID runs, duplicates collapsed. Linear two-pointer
+/// merge with a bulk tail copy.
+pub fn union_sorted(a: &[Id], b: &[Id]) -> Vec<Id> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        let v = x.min(y);
+        if x == v {
+            i += 1;
+        }
+        if y == v {
+            j += 1;
+        }
+        if out.last() != Some(&v) {
+            out.push(v);
+        }
+    }
+    for &v in &a[i..] {
+        if out.last() != Some(&v) {
+            out.push(v);
+        }
+    }
+    for &v in &b[j..] {
+        if out.last() != Some(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
 /// Write a host-side slice of sorted IDs as a fresh list (bulk-load paths
 /// and tests). Charges normal sequential write I/O.
 pub fn write_id_list(
@@ -326,6 +398,63 @@ mod tests {
         let (mut dev, _alloc, ram) = setup();
         let r = IdListReader::open(IdList::empty(), &ram, dev.page_size()).unwrap();
         assert_eq!(r.drain(&mut dev).unwrap(), Vec::<Id>::new());
+    }
+
+    /// Reference two-pointer set ops for the galloping equivalence checks.
+    fn naive_intersect(a: &[Id], b: &[Id]) -> Vec<Id> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn galloping_intersect_matches_two_pointer() {
+        let cases: Vec<(Vec<Id>, Vec<Id>)> = vec![
+            (vec![], vec![1, 2, 3]),
+            (vec![5], vec![1, 2, 3, 4, 5, 6]),
+            (vec![1, 2, 3], vec![4, 5, 6]),
+            ((0..1000).collect(), (0..1000).map(|i| i * 7).collect()),
+            // Skewed: tiny driver, huge other — the galloping sweet spot.
+            (
+                vec![3, 999, 50_000, 123_456],
+                (0..200_000).map(|i| i * 2).collect(),
+            ),
+            (
+                (0..5000).map(|i| i * 3).collect(),
+                (0..5000).map(|i| i * 5).collect(),
+            ),
+        ];
+        for (a, b) in cases {
+            assert_eq!(intersect_sorted(&a, &b), naive_intersect(&a, &b));
+            assert_eq!(intersect_sorted(&b, &a), naive_intersect(&a, &b));
+        }
+    }
+
+    #[test]
+    fn union_sorted_collapses_duplicates() {
+        assert_eq!(union_sorted(&[], &[]), Vec::<Id>::new());
+        assert_eq!(union_sorted(&[1, 2, 2, 3], &[]), vec![1, 2, 3]);
+        assert_eq!(
+            union_sorted(&[1, 3, 5], &[2, 3, 4, 6]),
+            vec![1, 2, 3, 4, 5, 6]
+        );
+        let a: Vec<Id> = (0..1000).map(|i| i * 2).collect();
+        let b: Vec<Id> = (0..1000).map(|i| i * 3).collect();
+        let mut expect: Vec<Id> = a.iter().chain(&b).copied().collect();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(union_sorted(&a, &b), expect);
     }
 
     #[test]
