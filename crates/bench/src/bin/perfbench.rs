@@ -6,8 +6,9 @@
 //!
 //! ```text
 //! perfbench [--smoke] [--out BENCH.json] [--scale F] [--scale2 F]
-//!           [--medical-scale F] [--iters N]
+//!           [--medical-scale F] [--iters N] [--threads N]
 //! perfbench --check BENCH.json
+//! perfbench --compare A.json B.json
 //! ```
 //!
 //! Timing is `std::time::Instant` with warmup + median-of-N; simulated
@@ -15,13 +16,24 @@
 //! microbenches measure each optimised operator against its naive
 //! reference implementation, so the harness output itself carries the
 //! before/after evidence for every hot-path change.
+//!
+//! `--threads N` fans the query sweeps across N worker threads (each with
+//! its own private database — `ghostdb_exec::parallel::fan_out`), cutting
+//! total harness wall-clock on multi-core machines. The scenario list is
+//! byte-identical to the serial harness (`--compare` proves it) and
+//! `simulated_s`/`ops`/`bytes_io` stay bit-identical, but per-point
+//! `wall_ns` is timed while sibling points contend for memory bandwidth
+//! and cache — compare wall numbers only between runs with the same
+//! `--threads` (the emitted document records it). The committed baseline
+//! is always a serial (`threads = 1`) run. Microbenches stay serial.
 
-use ghostdb_bench::json::{check_bench, Json};
+use ghostdb_bench::json::{check_bench, compare_scenarios, Json};
 use ghostdb_bench::perf::{bench_doc, measure, BenchEntry, RunStats};
 use ghostdb_bench::{build_medical, build_synthetic, medical_q, query_q, run_with};
 use ghostdb_bloom::hash::hash_i;
 use ghostdb_bloom::BloomFilter;
 use ghostdb_exec::merge::{merge_to_vec, merge_to_vec_streaming};
+use ghostdb_exec::parallel::fan_out;
 use ghostdb_exec::project::ProjectAlgo;
 use ghostdb_exec::sjoin::sjoin_stream;
 use ghostdb_exec::source::{IdSource, NaiveUnionStream, UnionStream};
@@ -33,15 +45,16 @@ use ghostdb_storage::idlist::write_id_list;
 use ghostdb_storage::schema::paper_synthetic_schema;
 use ghostdb_storage::Id;
 use ghostdb_token::RamArena;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 perfbench — wall-clock performance baseline emitting BENCH.json
 
 USAGE:
     perfbench [--smoke] [--out PATH] [--scale F] [--scale2 F]
-              [--medical-scale F] [--iters N]
+              [--medical-scale F] [--iters N] [--threads N]
     perfbench --check PATH
+    perfbench --compare PATH PATH
 
 OPTIONS:
     --smoke            reduced matrix (one synthetic scale, fewer
@@ -53,7 +66,15 @@ OPTIONS:
                        (default 0.05, T0 = 500 000)
     --medical-scale F  medical dataset scale (default 0.2; smoke 0.01)
     --iters N          timed iterations per scenario (default 5; smoke 3)
+    --threads N        worker threads for the query sweeps (default 1 =
+                       serial; each worker owns a private database).
+                       simulated_s/ops/bytes_io keep their serial values;
+                       wall_ns is timed under concurrent sweep load, so
+                       only compare it between runs with equal --threads —
+                       keep the committed baseline a serial run
     --check PATH       validate an existing BENCH.json and exit
+    --compare A B      validate two BENCH.json files and fail if their
+                       scenario names drift (parallel vs serial harness)
     -h, --help         print this help and exit
 
 The scenario set is a pure function of the flags: two runs with the same
@@ -68,7 +89,9 @@ struct Opts {
     scale2: f64,
     medical_scale: f64,
     iters: usize,
+    threads: usize,
     check: Option<String>,
+    compare: Option<(String, String)>,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -79,6 +102,10 @@ fn parse_positive(flag: &str, raw: &str) -> f64 {
     ghostdb_bench::cli::parse_positive(flag, raw, USAGE)
 }
 
+fn parse_count(flag: &str, raw: &str) -> usize {
+    ghostdb_bench::cli::parse_count(flag, raw, USAGE)
+}
+
 fn parse_args() -> Opts {
     let mut opts = Opts {
         smoke: false,
@@ -87,7 +114,9 @@ fn parse_args() -> Opts {
         scale2: 0.05,
         medical_scale: 0.0, // resolved after --smoke is known
         iters: 0,           // resolved after --smoke is known
+        threads: 1,
         check: None,
+        compare: None,
     };
     let mut scale_set = false;
     let mut scale2_set = false;
@@ -131,17 +160,26 @@ fn parse_args() -> Opts {
                 i += 2;
             }
             "--iters" => {
-                let v = parse_positive("--iters", &value_of(&args, i));
-                if v.fract() != 0.0 {
-                    usage_error("--iters must be an integer");
-                }
-                opts.iters = v as usize;
+                opts.iters = parse_count("--iters", &value_of(&args, i));
                 iters_set = true;
+                i += 2;
+            }
+            "--threads" => {
+                opts.threads = parse_count("--threads", &value_of(&args, i));
                 i += 2;
             }
             "--check" => {
                 opts.check = Some(value_of(&args, i));
                 i += 2;
+            }
+            "--compare" => {
+                let a = value_of(&args, i);
+                let b = match args.get(i + 2) {
+                    Some(v) => v.clone(),
+                    None => usage_error("--compare requires two paths"),
+                };
+                opts.compare = Some((a, b));
+                i += 3;
             }
             other => usage_error(&format!("unknown argument {other}")),
         }
@@ -167,15 +205,34 @@ fn parse_args() -> Opts {
     opts
 }
 
-fn run_check(path: &str) -> ! {
+fn load_doc(verb: &str, path: &str) -> Json {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("perfbench --check: cannot read {path}: {e}");
+        eprintln!("perfbench {verb}: cannot read {path}: {e}");
         std::process::exit(1);
     });
-    let doc = Json::parse(&text).unwrap_or_else(|e| {
-        eprintln!("perfbench --check: {path} is not valid JSON: {e}");
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("perfbench {verb}: {path} is not valid JSON: {e}");
         std::process::exit(1);
-    });
+    })
+}
+
+fn run_compare(a: &str, b: &str) -> ! {
+    let da = load_doc("--compare", a);
+    let db = load_doc("--compare", b);
+    match compare_scenarios(&da, &db) {
+        Ok(n) => {
+            println!("{a} and {b}: OK — {n} scenarios, identical names and order");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("perfbench --compare: {a} vs {b}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_check(path: &str) -> ! {
+    let doc = load_doc("--check", path);
     match check_bench(&doc) {
         Ok(s) => {
             println!(
@@ -199,11 +256,33 @@ fn report_stats(report: &ExecReport) -> RunStats {
     }
 }
 
+/// Fan sweep points across `threads` workers, each owning its private
+/// database, in deterministic point order. `threads == 1` is the plain
+/// serial loop (one database, no spawn), so the serial harness is
+/// bit-for-bit the pre-parallel one.
+fn sweep<S: Send>(
+    label: &str,
+    points: usize,
+    threads: usize,
+    build: impl Fn() -> S + Sync,
+    run_point: impl Fn(&mut S, usize) -> BenchEntry + Sync,
+) -> Vec<BenchEntry> {
+    eprintln!("perfbench: {label}: {points} points on {threads} thread(s)");
+    fan_out(points, threads, || Ok(build()), |s, i| Ok(run_point(s, i))).unwrap_or_else(|e| {
+        eprintln!("perfbench: {label} sweep failed: {e}");
+        std::process::exit(1);
+    })
+}
+
 /// The synthetic query matrix at one scale: full `VisStrategy` sweep under
 /// `Project`, plus the full sweep under `BruteForce`.
-fn synthetic_scenarios(scale: f64, warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
-    eprintln!("perfbench: building synthetic dataset (scale {scale})...");
-    let (ds, mut db) = build_synthetic(scale);
+fn synthetic_scenarios(
+    scale: f64,
+    warmup: usize,
+    iters: usize,
+    threads: usize,
+    out: &mut Vec<BenchEntry>,
+) {
     let strategies = [
         VisStrategy::Pre,
         VisStrategy::CrossPre,
@@ -213,29 +292,50 @@ fn synthetic_scenarios(scale: f64, warmup: usize, iters: usize, out: &mut Vec<Be
         VisStrategy::CrossPostSelect,
         VisStrategy::NoFilter,
     ];
-    for algo in [ProjectAlgo::Project, ProjectAlgo::BruteForce] {
-        for strategy in strategies {
-            let q = query_q(&ds, &db, 0.01, false);
+    let points: Vec<(VisStrategy, ProjectAlgo)> = [ProjectAlgo::Project, ProjectAlgo::BruteForce]
+        .iter()
+        .flat_map(|algo| strategies.iter().map(move |s| (*s, *algo)))
+        .collect();
+    out.extend(sweep(
+        &format!("synthetic x{scale}"),
+        points.len(),
+        threads,
+        || build_synthetic(scale),
+        |(ds, db), i| {
+            let (strategy, algo) = points[i];
+            let q = query_q(ds, db, 0.01, false);
             let name = format!("synthetic/x{scale}/{}/{}", strategy.name(), algo.name());
             eprintln!("perfbench: {name}");
-            out.push(measure(name, warmup, iters, || {
-                report_stats(&run_with(&mut db, &q, strategy, algo))
-            }));
-        }
-    }
+            measure(name, warmup, iters, || {
+                report_stats(&run_with(db, &q, strategy, algo))
+            })
+        },
+    ));
 }
 
-fn medical_scenarios(scale: f64, warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
-    eprintln!("perfbench: building medical dataset (scale {scale})...");
-    let (ds, mut db) = build_medical(scale);
-    for strategy in [VisStrategy::CrossPre, VisStrategy::CrossPost] {
-        let q = medical_q(&ds, &db, 0.05);
-        let name = format!("medical/x{scale}/{}", strategy.name());
-        eprintln!("perfbench: {name}");
-        out.push(measure(name, warmup, iters, || {
-            report_stats(&run_with(&mut db, &q, strategy, ProjectAlgo::Project))
-        }));
-    }
+fn medical_scenarios(
+    scale: f64,
+    warmup: usize,
+    iters: usize,
+    threads: usize,
+    out: &mut Vec<BenchEntry>,
+) {
+    let points = [VisStrategy::CrossPre, VisStrategy::CrossPost];
+    out.extend(sweep(
+        &format!("medical x{scale}"),
+        points.len(),
+        threads,
+        || build_medical(scale),
+        |(ds, db), i| {
+            let strategy = points[i];
+            let q = medical_q(ds, db, 0.05);
+            let name = format!("medical/x{scale}/{}", strategy.name());
+            eprintln!("perfbench: {name}");
+            measure(name, warmup, iters, || {
+                report_stats(&run_with(db, &q, strategy, ProjectAlgo::Project))
+            })
+        },
+    ));
 }
 
 fn micro_device() -> (FlashDevice, SegmentAllocator, RamArena) {
@@ -283,9 +383,9 @@ fn micro_union(warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
 /// Host-resident CNF merge: streaming machinery vs galloping fast path.
 fn micro_intersect(warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
     let mut db = ghostdb_exec::testkit::tiny_db();
-    let a: Rc<Vec<Id>> = Rc::new((0..200_000u32).map(|i| i * 2).collect());
-    let b: Rc<Vec<Id>> = Rc::new((0..200_000u32).map(|i| i * 3).collect());
-    let groups = |a: &Rc<Vec<Id>>, b: &Rc<Vec<Id>>| {
+    let a: Arc<Vec<Id>> = Arc::new((0..200_000u32).map(|i| i * 2).collect());
+    let b: Arc<Vec<Id>> = Arc::new((0..200_000u32).map(|i| i * 3).collect());
+    let groups = |a: &Arc<Vec<Id>>, b: &Arc<Vec<Id>>| {
         vec![
             vec![IdSource::Host(a.clone())],
             vec![IdSource::Host(b.clone())],
@@ -515,20 +615,27 @@ fn print_improvements(entries: &[BenchEntry]) {
 
 fn main() {
     let opts = parse_args();
+    if let Some((a, b)) = &opts.compare {
+        run_compare(a, b);
+    }
     if let Some(path) = &opts.check {
         run_check(path);
     }
     let mode = if opts.smoke { "smoke" } else { "full" };
     let warmup = 1usize;
     let iters = opts.iters;
-    eprintln!("perfbench: mode {mode}, {iters} timed iterations per scenario (+{warmup} warmup)");
+    let threads = opts.threads;
+    eprintln!(
+        "perfbench: mode {mode}, {iters} timed iterations per scenario \
+         (+{warmup} warmup), {threads} sweep thread(s)"
+    );
 
     let mut entries: Vec<BenchEntry> = Vec::new();
-    synthetic_scenarios(opts.scale, warmup, iters, &mut entries);
+    synthetic_scenarios(opts.scale, warmup, iters, threads, &mut entries);
     if !opts.smoke {
-        synthetic_scenarios(opts.scale2, warmup, iters, &mut entries);
+        synthetic_scenarios(opts.scale2, warmup, iters, threads, &mut entries);
     }
-    medical_scenarios(opts.medical_scale, warmup, iters, &mut entries);
+    medical_scenarios(opts.medical_scale, warmup, iters, threads, &mut entries);
 
     eprintln!("perfbench: operator microbenches...");
     micro_union(warmup, iters, &mut entries);
@@ -537,7 +644,7 @@ fn main() {
     micro_ci_probe(warmup, iters, &mut entries);
     micro_sjoin(opts.scale, warmup, iters, &mut entries);
 
-    let doc = bench_doc(mode, &entries);
+    let doc = bench_doc(mode, threads, &entries);
     let summary = check_bench(&doc).unwrap_or_else(|e| {
         eprintln!("perfbench: generated document violates its own schema: {e}");
         std::process::exit(1);
@@ -550,5 +657,12 @@ fn main() {
         "wrote {} — {} entries ({} query scenarios, {} microbenches)",
         opts.out, summary.entries, summary.scenarios, summary.micro
     );
+    if threads > 1 {
+        eprintln!(
+            "perfbench: note: sweep points were timed concurrently ({threads} threads); \
+             wall_ns is only comparable to other --threads {threads} runs — do not commit \
+             this file as the serial baseline"
+        );
+    }
     print_improvements(&entries);
 }

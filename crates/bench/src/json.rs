@@ -318,6 +318,14 @@ pub fn check_bench(doc: &Json) -> Result<BenchSummary, String> {
         .and_then(Json::as_str)
         .filter(|m| *m == "full" || *m == "smoke")
         .ok_or("mode must be \"full\" or \"smoke\"")?;
+    // `threads` arrived with the parallel harness; older documents (and the
+    // committed PR-2 baseline) predate it, so absence is accepted.
+    if let Some(t) = doc.get("threads") {
+        let t = t.as_num().ok_or("threads must be a number")?;
+        if t.fract() != 0.0 || t < 1.0 {
+            return Err(format!("threads must be an integer ≥ 1, got {t}"));
+        }
+    }
     let entries = doc
         .get("entries")
         .and_then(Json::as_arr)
@@ -358,6 +366,40 @@ pub fn check_bench(doc: &Json) -> Result<BenchSummary, String> {
         micro,
         scenarios,
     })
+}
+
+/// Compare two BENCH.json documents for harness drift: both must pass
+/// [`check_bench`] and carry the **same scenario names in the same order**
+/// (values are allowed to differ — wall time always does). This is what
+/// keeps the parallel (`--threads N`) and serial sweeps emitting the same
+/// matrix: CI diffs a `--smoke --threads 2` run against a serial `--smoke`
+/// run and fails on any divergence. Returns the shared entry count.
+pub fn compare_scenarios(a: &Json, b: &Json) -> Result<usize, String> {
+    check_bench(a).map_err(|e| format!("first document: {e}"))?;
+    check_bench(b).map_err(|e| format!("second document: {e}"))?;
+    let names = |doc: &Json| -> Vec<String> {
+        doc.get("entries")
+            .and_then(Json::as_arr)
+            .expect("checked above")
+            .iter()
+            .map(|e| {
+                e.get("scenario")
+                    .and_then(Json::as_str)
+                    .expect("checked above")
+                    .to_string()
+            })
+            .collect()
+    };
+    let (na, nb) = (names(a), names(b));
+    if na.len() != nb.len() {
+        return Err(format!("entry counts differ: {} vs {}", na.len(), nb.len()));
+    }
+    for (i, (x, y)) in na.iter().zip(&nb).enumerate() {
+        if x != y {
+            return Err(format!("entry {i} differs: {x:?} vs {y:?}"));
+        }
+    }
+    Ok(na.len())
 }
 
 #[cfg(test)]
@@ -445,5 +487,62 @@ mod tests {
             }
         }
         assert!(check_bench(&bad).is_err());
+    }
+
+    #[test]
+    fn checker_validates_optional_threads() {
+        let names: Vec<String> = (0..12)
+            .map(|i| format!("q{i}"))
+            .chain(std::iter::once("micro/x".into()))
+            .collect();
+        let with_threads = |t: Json| {
+            let Json::Obj(mut fields) = doc(&names) else {
+                unreachable!()
+            };
+            fields.push(("threads".into(), t));
+            Json::Obj(fields)
+        };
+        // Absent (the committed PR-2 baseline) and sane values pass.
+        assert!(check_bench(&doc(&names)).is_ok());
+        assert!(check_bench(&with_threads(Json::Num(1.0))).is_ok());
+        assert!(check_bench(&with_threads(Json::Num(8.0))).is_ok());
+        // Zero, fractions and non-numbers fail.
+        assert!(check_bench(&with_threads(Json::Num(0.0))).is_err());
+        assert!(check_bench(&with_threads(Json::Num(2.5))).is_err());
+        assert!(check_bench(&with_threads(Json::Str("2".into()))).is_err());
+    }
+
+    #[test]
+    fn compare_accepts_same_names_and_rejects_drift() {
+        let names: Vec<String> = (0..12)
+            .map(|i| format!("q{i}"))
+            .chain(std::iter::once("micro/x".into()))
+            .collect();
+        assert_eq!(compare_scenarios(&doc(&names), &doc(&names)), Ok(13));
+
+        // Different wall times still compare equal (names-only diff).
+        let mut slower = doc(&names);
+        if let Json::Obj(fields) = &mut slower {
+            if let Json::Arr(entries) = &mut fields[2].1 {
+                if let Json::Obj(e) = &mut entries[0] {
+                    e[1].1 = Json::Num(999_999.0);
+                }
+            }
+        }
+        assert_eq!(compare_scenarios(&doc(&names), &slower), Ok(13));
+
+        // A renamed scenario is drift.
+        let mut renamed = names.clone();
+        renamed[3] = "q3-renamed".into();
+        assert!(compare_scenarios(&doc(&names), &doc(&renamed)).is_err());
+
+        // An extra scenario is drift (count mismatch between valid docs).
+        let mut longer = names.clone();
+        longer.push("q12".into());
+        let err = compare_scenarios(&doc(&names), &doc(&longer)).unwrap_err();
+        assert!(err.contains("entry counts differ"), "{err}");
+
+        // An invalid document never compares clean.
+        assert!(compare_scenarios(&doc(&names), &Json::Obj(vec![])).is_err());
     }
 }

@@ -75,12 +75,14 @@ pub fn measure(
     }
 }
 
-/// Assemble the BENCH.json document.
-pub fn bench_doc(mode: &str, entries: &[BenchEntry]) -> Json {
+/// Assemble the BENCH.json document. `threads` records how many worker
+/// threads the query sweeps fanned across (1 = the serial harness).
+pub fn bench_doc(mode: &str, threads: usize, entries: &[BenchEntry]) -> Json {
     Json::Obj(vec![
         ("schema_version".into(), Json::Num(1.0)),
         ("generator".into(), Json::Str("perfbench".into())),
         ("mode".into(), Json::Str(mode.into())),
+        ("threads".into(), Json::Num(threads as f64)),
         (
             "entries".into(),
             Json::Arr(entries.iter().map(BenchEntry::to_json).collect()),
@@ -127,7 +129,7 @@ mod tests {
                 bytes_io: 0,
             }))
             .collect();
-        let doc = bench_doc("smoke", &entries);
+        let doc = bench_doc("smoke", 2, &entries);
         let text = doc.render();
         let parsed = Json::parse(&text).unwrap();
         crate::json::check_bench(&parsed).unwrap();

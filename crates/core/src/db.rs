@@ -13,7 +13,7 @@ use ghostdb_exec::{optimizer, ExecCtx, ExecOptions, ExecReport, Executor, Result
 use ghostdb_storage::schema::{Column, SchemaTree, TableDef, Visibility};
 use ghostdb_storage::{Id, Value};
 use ghostdb_token::TokenConfig;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Configuration of a GhostDB instance.
 #[derive(Debug, Clone)]
@@ -160,7 +160,7 @@ impl GhostDb {
         let schema = SchemaTree::new(self.defs.clone())?;
         let mut loads = Vec::new();
         for def in &self.defs {
-            let rows: Rc<Vec<Vec<Value>>> = Rc::new(
+            let rows: Arc<Vec<Vec<Value>>> = Arc::new(
                 self.staged
                     .iter()
                     .find(|(n, _)| *n == def.name)

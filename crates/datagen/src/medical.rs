@@ -18,7 +18,7 @@ use ghostdb_token::TokenConfig;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Specialties pool for the visible `Doctors.specialty` column.
 pub const SPECIALTIES: [&str; 8] = [
@@ -43,14 +43,14 @@ pub struct MedicalDataset {
     patients: u64,
     measurements: u64,
     drugs: u64,
-    patient_fk: Rc<Vec<Id>>,
-    drug_fk: Rc<Vec<Id>>,
-    doctor_fk: Rc<Vec<Id>>,
+    patient_fk: Arc<Vec<Id>>,
+    drug_fk: Arc<Vec<Id>>,
+    doctor_fk: Arc<Vec<Id>>,
     /// Permutation behind `Patients.first-name` (exact visible selectivity).
-    first_name_perm: Rc<Vec<u32>>,
+    first_name_perm: Arc<Vec<u32>>,
     /// Permutation behind `Doctors.name` (exact hidden selectivity).
-    doctor_name_perm: Rc<Vec<u32>>,
-    bmi: Rc<Vec<f32>>,
+    doctor_name_perm: Arc<Vec<u32>>,
+    bmi: Arc<Vec<f32>>,
 }
 
 /// The §6.2 medical schema: hidden foreign keys + hidden identifying
@@ -94,17 +94,17 @@ impl MedicalDataset {
         let measurements = ((1_300_000.0 * scale) as u64).max(100);
         let drugs = 45u64.max((45.0 * scale) as u64);
         let mut rng = SmallRng::seed_from_u64(seed);
-        let patient_fk = Rc::new(
+        let patient_fk = Arc::new(
             (0..measurements)
                 .map(|_| rng.gen_range(0..patients) as Id)
                 .collect::<Vec<_>>(),
         );
-        let drug_fk = Rc::new(
+        let drug_fk = Arc::new(
             (0..measurements)
                 .map(|_| rng.gen_range(0..drugs) as Id)
                 .collect::<Vec<_>>(),
         );
-        let doctor_fk = Rc::new(
+        let doctor_fk = Arc::new(
             (0..patients)
                 .map(|_| rng.gen_range(0..doctors) as Id)
                 .collect::<Vec<_>>(),
@@ -113,7 +113,7 @@ impl MedicalDataset {
         fn_perm.shuffle(&mut rng);
         let mut dn_perm: Vec<u32> = (0..doctors as u32).collect();
         dn_perm.shuffle(&mut rng);
-        let bmi = Rc::new(
+        let bmi = Arc::new(
             (0..patients)
                 .map(|_| rng.gen_range(15.0f32..45.0))
                 .collect::<Vec<_>>(),
@@ -129,8 +129,8 @@ impl MedicalDataset {
             patient_fk,
             drug_fk,
             doctor_fk,
-            first_name_perm: Rc::new(fn_perm),
-            doctor_name_perm: Rc::new(dn_perm),
+            first_name_perm: Arc::new(fn_perm),
+            doctor_name_perm: Arc::new(dn_perm),
             bmi,
         }
     }

@@ -11,7 +11,7 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Table names in schema declaration order.
 pub const TABLES: [&str; 5] = ["T0", "T1", "T2", "T11", "T12"];
@@ -27,9 +27,9 @@ pub struct SyntheticDataset {
     pub schema: SchemaTree,
     rows: Vec<u64>,
     /// `perms[(table, col)][row]` = value ordinal (a permutation of 0..rows).
-    perms: HashMap<(TableId, String), Rc<Vec<u32>>>,
+    perms: HashMap<(TableId, String), Arc<Vec<u32>>>,
     /// Foreign keys per (table, fk column).
-    fks: HashMap<(TableId, String), Rc<Vec<Id>>>,
+    fks: HashMap<(TableId, String), Arc<Vec<Id>>>,
 }
 
 impl SyntheticDataset {
@@ -51,10 +51,10 @@ impl SyntheticDataset {
             let t = schema.table_id(name).expect("paper schema");
             let n = cards[ti];
             for v in 1..=spec.visible_attrs {
-                perms.insert((t, format!("v{v}")), Rc::new(permutation(n, &mut rng)));
+                perms.insert((t, format!("v{v}")), Arc::new(permutation(n, &mut rng)));
             }
             for h in 1..=spec.hidden_attrs {
-                perms.insert((t, format!("h{h}")), Rc::new(permutation(n, &mut rng)));
+                perms.insert((t, format!("h{h}")), Arc::new(permutation(n, &mut rng)));
             }
         }
         let mut fks = HashMap::new();
@@ -71,7 +71,7 @@ impl SyntheticDataset {
             let arr: Vec<Id> = (0..rows[p])
                 .map(|_| rng.gen_range(0..n_child) as Id)
                 .collect();
-            fks.insert((p, col.to_string()), Rc::new(arr));
+            fks.insert((p, col.to_string()), Arc::new(arr));
         }
         SyntheticDataset {
             spec,

@@ -100,7 +100,7 @@ mod tests {
         let mut db: Database = testkit::tiny_db();
         let mut ctx = ExecCtx::new(&mut db);
         let ids: Vec<Id> = (0..500).map(|i| i * 2).collect();
-        let sources = vec![IdSource::Host(std::rc::Rc::new(ids.clone()))];
+        let sources = vec![IdSource::Host(std::sync::Arc::new(ids.clone()))];
         let bf = build_bloom(&mut ctx, OpKind::Bloom, 500, &sources, 4096)
             .unwrap()
             .unwrap();

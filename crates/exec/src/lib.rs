@@ -32,6 +32,7 @@ pub mod error;
 pub mod executor;
 pub mod merge;
 pub mod optimizer;
+pub mod parallel;
 pub mod project;
 pub mod query;
 pub mod report;
@@ -46,10 +47,12 @@ pub use ctx::ExecCtx;
 pub use database::Database;
 pub use error::ExecError;
 pub use executor::{ExecOptions, Executor};
+pub use parallel::run_many;
 pub use project::ProjectAlgo;
 pub use query::SpjQuery;
 pub use report::{ExecReport, OpKind};
 pub use result::ResultSet;
+pub use source::SharedIds;
 pub use strategy::VisStrategy;
 
 /// Result alias for execution.

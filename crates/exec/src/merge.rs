@@ -188,7 +188,7 @@ pub fn merge_to_vec_streaming(
 /// galloping intersection across groups, smallest group first so the driver
 /// side of every intersection stays minimal.
 fn merge_host_groups(groups: &[Vec<IdSource>]) -> Vec<Id> {
-    let host = |s: &IdSource| -> std::rc::Rc<Vec<Id>> {
+    let host = |s: &IdSource| -> crate::source::SharedIds {
         match s {
             IdSource::Host(v) => v.clone(),
             _ => unreachable!("host fast path"),
@@ -234,7 +234,7 @@ fn merge_host_groups(groups: &[Vec<IdSource>]) -> Vec<Id> {
 mod tests {
     use super::*;
     use crate::testkit;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[test]
     fn host_fast_path_matches_streaming_merge() {
@@ -243,16 +243,16 @@ mod tests {
             vec![
                 // Three sources: exercises the concat+sort wide-group arm.
                 vec![
-                    IdSource::Host(Rc::new((0..200).map(|i| i * 3).collect())),
-                    IdSource::Host(Rc::new(if dup {
+                    IdSource::Host(Arc::new((0..200).map(|i| i * 3).collect())),
+                    IdSource::Host(Arc::new(if dup {
                         vec![1, 1, 5, 9, 9]
                     } else {
                         vec![1, 5, 9]
                     })),
-                    IdSource::Host(Rc::new(vec![4, 300])),
+                    IdSource::Host(Arc::new(vec![4, 300])),
                 ],
-                vec![IdSource::Host(Rc::new((0..300).collect()))],
-                vec![IdSource::Host(Rc::new((0..150).map(|i| i * 2).collect()))],
+                vec![IdSource::Host(Arc::new((0..300).collect()))],
+                vec![IdSource::Host(Arc::new((0..150).map(|i| i * 2).collect()))],
             ]
         };
         for dup in [false, true] {
@@ -271,7 +271,7 @@ mod tests {
         let mut db = testkit::tiny_db();
         let groups = || -> Vec<Vec<IdSource>> {
             vec![
-                vec![IdSource::Host(Rc::new((0..100).map(|i| i * 2).collect()))],
+                vec![IdSource::Host(Arc::new((0..100).map(|i| i * 2).collect()))],
                 vec![IdSource::Range {
                     start: 50,
                     end: 180,
@@ -291,8 +291,8 @@ mod tests {
         let mut ctx = crate::ExecCtx::new(&mut db);
         assert_eq!(merge_to_vec(&mut ctx, vec![]).unwrap(), Vec::<Id>::new());
         let groups = vec![
-            vec![IdSource::Host(Rc::new(vec![1, 2, 3]))],
-            vec![IdSource::Host(Rc::new(Vec::new()))],
+            vec![IdSource::Host(Arc::new(vec![1, 2, 3]))],
+            vec![IdSource::Host(Arc::new(Vec::new()))],
         ];
         assert_eq!(merge_to_vec(&mut ctx, groups).unwrap(), Vec::<Id>::new());
     }

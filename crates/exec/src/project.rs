@@ -17,7 +17,7 @@ use crate::query::{Analyzed, TableProjection};
 use crate::report::OpKind;
 use crate::result::ResultSet;
 use crate::sjoin::sjoin_stream;
-use crate::source::{IdSource, SourceReader};
+use crate::source::{IdSource, SharedIds, SourceReader};
 use crate::strategy::{RootIds, SjOutcome};
 use crate::Result;
 use ghostdb_bloom::calibrate;
@@ -26,7 +26,7 @@ use ghostdb_storage::row::RowLayout;
 use ghostdb_storage::table::{ColumnScan, FlashTableWriter};
 use ghostdb_storage::{ColumnType, FlashTable, Id, IdListReader, Predicate, TableId, Value};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which projection algorithm to run (Figures 12–13).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,7 +141,7 @@ pub fn execute(
                 vis_preds,
                 &[],
             )?;
-            let vis_ids = Rc::new(shipment.ids);
+            let vis_ids = Arc::new(shipment.ids);
             match algo {
                 ProjectAlgo::Project => sigma_vh(ctx, &id_cols[i], &vis_ids)?,
                 _ => IdSource::Host(vis_ids),
@@ -323,7 +323,7 @@ fn partition(
 /// Figure 5, lines 3–4: Bloom over the table's QEPSJ id column, probed with
 /// the visible ids → σVH. "The Bloom filter is calibrated by default to
 /// occupy the entire RAM" (§5) minus the scan buffers.
-fn sigma_vh(ctx: &mut ExecCtx<'_>, id_col: &FlashTable, vis_ids: &Rc<Vec<Id>>) -> Result<IdSource> {
+fn sigma_vh(ctx: &mut ExecCtx<'_>, id_col: &FlashTable, vis_ids: &SharedIds) -> Result<IdSource> {
     let n = id_col.rows();
     let budget = ctx.ram().available().saturating_sub(3) * ctx.ram().buf_size();
     let Some(cal) = calibrate(n, budget) else {
@@ -348,7 +348,7 @@ fn sigma_vh(ctx: &mut ExecCtx<'_>, id_col: &FlashTable, vis_ids: &Rc<Vec<Id>>) -
         .copied()
         .filter(|id| bf.contains(*id as u64))
         .collect();
-    Ok(IdSource::Host(Rc::new(filtered)))
+    Ok(IdSource::Host(Arc::new(filtered)))
 }
 
 /// Figure 5, line 6: MJoin — merge visible values, hidden columns and σVH

@@ -12,7 +12,13 @@ use ghostdb_storage::{Id, IdList, IdListReader};
 use ghostdb_token::RamArena;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::rc::Rc;
+use std::sync::Arc;
+
+/// Shared-ownership sorted id list. Every shared id/row payload in the
+/// execution data plane routes through this alias so the pointer type is a
+/// one-line swap; `Arc` keeps the whole operator tree `Send + Sync`, which
+/// is what lets [`crate::parallel::run_many`] fan plans across threads.
+pub type SharedIds = Arc<Vec<Id>>;
 
 /// A sorted stream of tuple IDs.
 #[derive(Debug, Clone)]
@@ -21,7 +27,7 @@ pub enum IdSource {
     Flash(IdList),
     /// A host-resident sorted list (a `Vis` shipment already paid for on
     /// the channel; zero flash and RAM cost to re-stream).
-    Host(Rc<Vec<Id>>),
+    Host(SharedIds),
     /// The dense range `start..end` (no selection).
     Range {
         /// First id.
@@ -58,7 +64,7 @@ pub enum SourceReader {
     /// Host list cursor.
     Host {
         /// The list.
-        ids: Rc<Vec<Id>>,
+        ids: SharedIds,
         /// Cursor.
         pos: usize,
     },
@@ -358,7 +364,7 @@ mod tests {
         let flash = write_id_list(&mut dev, &mut alloc, &ram, &[2, 4, 6, 8]).unwrap();
         let sources = vec![
             IdSource::Flash(flash),
-            IdSource::Host(Rc::new(vec![1, 4, 9])),
+            IdSource::Host(Arc::new(vec![1, 4, 9])),
             IdSource::Range { start: 6, end: 9 },
         ];
         let u = UnionStream::open(&sources, &ram, dev.page_size()).unwrap();
@@ -373,7 +379,7 @@ mod tests {
         let g1 = UnionStream::open(&[IdSource::Flash(a)], &ram, dev.page_size()).unwrap();
         let g2 = UnionStream::open(&[IdSource::Flash(b)], &ram, dev.page_size()).unwrap();
         let g3 = UnionStream::open(
-            &[IdSource::Host(Rc::new(vec![2, 3, 9, 11]))],
+            &[IdSource::Host(Arc::new(vec![2, 3, 9, 11]))],
             &ram,
             dev.page_size(),
         )
@@ -392,8 +398,8 @@ mod tests {
         // (∪ {1,2} {5,6}) ∩ (∪ {2,5} {6})  = {2,5,6}
         let g1 = UnionStream::open(
             &[
-                IdSource::Host(Rc::new(vec![1, 2])),
-                IdSource::Host(Rc::new(vec![5, 6])),
+                IdSource::Host(Arc::new(vec![1, 2])),
+                IdSource::Host(Arc::new(vec![5, 6])),
             ],
             &ram,
             dev.page_size(),
@@ -401,8 +407,8 @@ mod tests {
         .unwrap();
         let g2 = UnionStream::open(
             &[
-                IdSource::Host(Rc::new(vec![2, 5])),
-                IdSource::Host(Rc::new(vec![6])),
+                IdSource::Host(Arc::new(vec![2, 5])),
+                IdSource::Host(Arc::new(vec![6])),
             ],
             &ram,
             dev.page_size(),
@@ -420,9 +426,9 @@ mod tests {
     fn empty_group_yields_empty_intersection() {
         let (mut dev, _alloc, ram) = setup();
         let g1 =
-            UnionStream::open(&[IdSource::Host(Rc::new(vec![]))], &ram, dev.page_size()).unwrap();
+            UnionStream::open(&[IdSource::Host(Arc::new(vec![]))], &ram, dev.page_size()).unwrap();
         let g2 = UnionStream::open(
-            &[IdSource::Host(Rc::new(vec![1, 2]))],
+            &[IdSource::Host(Arc::new(vec![1, 2]))],
             &ram,
             dev.page_size(),
         )
@@ -443,7 +449,7 @@ mod tests {
             .iter()
             .map(|ids| IdSource::Flash(write_id_list(&mut dev, &mut alloc, &ram, ids).unwrap()))
             .collect();
-        sources.push(IdSource::Host(Rc::new(vec![3, 5, 1000, 4000])));
+        sources.push(IdSource::Host(Arc::new(vec![3, 5, 1000, 4000])));
         sources.push(IdSource::Range {
             start: 90,
             end: 120,
@@ -474,7 +480,7 @@ mod tests {
         let a = write_id_list(&mut dev, &mut alloc, &ram, &[1, 4, 9, 16, 25, 36]).unwrap();
         let sources = [
             IdSource::Flash(a),
-            IdSource::Host(Rc::new(vec![2, 9, 30, 36, 50])),
+            IdSource::Host(Arc::new(vec![2, 9, 30, 36, 50])),
         ];
         let mut u = UnionStream::open(&sources, &ram, dev.page_size()).unwrap();
         assert_eq!(u.seek_at_least(&mut dev, 10).unwrap(), Some(16));
@@ -488,8 +494,8 @@ mod tests {
         let (mut dev, _alloc, ram) = setup();
         let u = UnionStream::open(
             &[
-                IdSource::Host(Rc::new(vec![1, 2, 3])),
-                IdSource::Host(Rc::new(vec![1, 2, 3])),
+                IdSource::Host(Arc::new(vec![1, 2, 3])),
+                IdSource::Host(Arc::new(vec![1, 2, 3])),
             ],
             &ram,
             dev.page_size(),

@@ -27,12 +27,12 @@ use crate::merge::{merge_to_list, merge_to_vec, open_merge};
 use crate::query::Analyzed;
 use crate::report::OpKind;
 use crate::sjoin::{sjoin_stream, SJoinTable, SJoinWriter};
-use crate::source::IdSource;
+use crate::source::{IdSource, SharedIds};
 use crate::Result;
 use ghostdb_bloom::calibrate;
 use ghostdb_storage::{Id, IdList, Predicate, TableId};
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Strategy for one visible selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,7 +135,7 @@ struct PostPlan {
     table: TableId,
     strategy: VisStrategy,
     /// Ids the filter is built over (vis ids, or the cross-intersected set).
-    ids: Rc<Vec<Id>>,
+    ids: SharedIds,
 }
 
 /// Execute the select-join part of the plan under the given per-table
@@ -174,10 +174,10 @@ pub fn execute_sj(
         let shipment =
             ctx.untrusted
                 .vis(&mut ctx.token.channel, *t, &schema.def(*t).name, preds, &[])?;
-        let vis_ids: Rc<Vec<Id>> = Rc::new(shipment.ids);
+        let vis_ids: SharedIds = Arc::new(shipment.ids);
 
         // Cross-intersection with subtree hidden selections.
-        let cross_ids: Option<Rc<Vec<Id>>> = if strategy.is_cross() {
+        let cross_ids: Option<SharedIds> = if strategy.is_cross() {
             let sels: Vec<(usize, &crate::query::HiddenSel)> = a
                 .hid_sels
                 .iter()
@@ -202,7 +202,7 @@ pub fn execute_sj(
                     crossed.insert(*i);
                 }
             }
-            Some(Rc::new(merge_to_vec(ctx, lgroups)?))
+            Some(Arc::new(merge_to_vec(ctx, lgroups)?))
         } else {
             None
         };
@@ -217,7 +217,7 @@ pub fn execute_sj(
                     let subs = probe_in(ctx, ci, &probe_list, root)?;
                     if subs.is_empty() {
                         // Empty selection: empty group → empty intersection.
-                        groups.push(vec![IdSource::Host(Rc::new(Vec::new()))]);
+                        groups.push(vec![IdSource::Host(Arc::new(Vec::new()))]);
                     } else {
                         groups.push(subs);
                     }
@@ -245,7 +245,7 @@ pub fn execute_sj(
         let ci = ctx.attr_index(sel.table, &sel.pred.column)?;
         let subs = select_sublists(ctx, ci, &sel.pred, root)?;
         if subs.is_empty() {
-            groups.push(vec![IdSource::Host(Rc::new(Vec::new()))]);
+            groups.push(vec![IdSource::Host(Arc::new(Vec::new()))]);
         } else {
             groups.push(subs);
         }
@@ -275,7 +275,7 @@ pub fn execute_sj(
 
     // Post side: Bloom filters (or exact RAM filters) probed behind SJoin.
     let mut bloom_filters: Vec<(TableId, BloomHandle)> = Vec::new();
-    let mut exact_filters: Vec<(TableId, Rc<Vec<Id>>)> = Vec::new();
+    let mut exact_filters: Vec<(TableId, SharedIds)> = Vec::new();
     for plan in post_plans {
         match plan.strategy {
             VisStrategy::Post | VisStrategy::CrossPost => {

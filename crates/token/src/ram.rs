@@ -10,24 +10,26 @@
 
 use crate::error::TokenError;
 use crate::Result;
-use std::cell::Cell;
 use std::ops::{Deref, DerefMut};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct ArenaState {
     buf_size: usize,
     capacity: usize,
-    in_use: Cell<usize>,
-    peak: Cell<usize>,
+    in_use: AtomicUsize,
+    peak: AtomicUsize,
 }
 
 /// The bounded RAM pool. Cheap to clone (shared handle); all clones draw
-/// from the same budget. Single-threaded by design — the secure chip has one
-/// core and the executor is sequential.
+/// from the same budget. One token's executor is still sequential (the
+/// secure chip has one core), but the accounting is atomic so a whole token
+/// — and therefore a whole `Database` — can move to another thread: the
+/// parallel executor runs one independent token per worker.
 #[derive(Debug, Clone)]
 pub struct RamArena {
-    state: Rc<ArenaState>,
+    state: Arc<ArenaState>,
 }
 
 impl RamArena {
@@ -35,11 +37,11 @@ impl RamArena {
     pub fn new(buf_size: usize, capacity: usize) -> Self {
         assert!(buf_size > 0 && capacity > 0, "degenerate arena");
         RamArena {
-            state: Rc::new(ArenaState {
+            state: Arc::new(ArenaState {
                 buf_size,
                 capacity,
-                in_use: Cell::new(0),
-                peak: Cell::new(0),
+                in_use: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
             }),
         }
     }
@@ -66,18 +68,18 @@ impl RamArena {
 
     /// Buffers currently available.
     pub fn available(&self) -> usize {
-        self.state.capacity - self.state.in_use.get()
+        self.state.capacity - self.state.in_use.load(Ordering::Relaxed)
     }
 
     /// Buffers currently held.
     pub fn in_use(&self) -> usize {
-        self.state.in_use.get()
+        self.state.in_use.load(Ordering::Relaxed)
     }
 
     /// High-water mark of concurrently held buffers (for assertions that a
     /// plan never exceeded the secure RAM).
     pub fn peak(&self) -> usize {
-        self.state.peak.get()
+        self.state.peak.load(Ordering::Relaxed)
     }
 
     /// Total RAM bytes represented by the pool.
@@ -86,31 +88,37 @@ impl RamArena {
     }
 
     fn reserve(&self, n: usize) -> Result<()> {
-        let in_use = self.state.in_use.get();
-        if in_use + n > self.state.capacity {
-            // Debug aid: set GHOSTDB_RAM_PANIC=1 to get a backtrace at the
-            // exact allocation that blew the secure-RAM budget.
-            if std::env::var("GHOSTDB_RAM_PANIC").is_ok() {
-                panic!("RAM exhausted: requested {n}, in_use {in_use}");
+        let mut in_use = self.state.in_use.load(Ordering::Relaxed);
+        loop {
+            if in_use + n > self.state.capacity {
+                // Debug aid: set GHOSTDB_RAM_PANIC=1 to get a backtrace at
+                // the exact allocation that blew the secure-RAM budget.
+                if std::env::var("GHOSTDB_RAM_PANIC").is_ok() {
+                    panic!("RAM exhausted: requested {n}, in_use {in_use}");
+                }
+                return Err(TokenError::OutOfRam {
+                    requested: n,
+                    available: self.state.capacity - in_use,
+                    capacity: self.state.capacity,
+                });
             }
-            return Err(TokenError::OutOfRam {
-                requested: n,
-                available: self.state.capacity - in_use,
-                capacity: self.state.capacity,
-            });
+            match self.state.in_use.compare_exchange_weak(
+                in_use,
+                in_use + n,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(current) => in_use = current,
+            }
         }
-        let now = in_use + n;
-        self.state.in_use.set(now);
-        if now > self.state.peak.get() {
-            self.state.peak.set(now);
-        }
+        self.state.peak.fetch_max(in_use + n, Ordering::Relaxed);
         Ok(())
     }
 
     fn release(&self, n: usize) {
-        let in_use = self.state.in_use.get();
-        debug_assert!(in_use >= n, "releasing more buffers than held");
-        self.state.in_use.set(in_use - n);
+        let before = self.state.in_use.fetch_sub(n, Ordering::Relaxed);
+        debug_assert!(before >= n, "releasing more buffers than held");
     }
 
     /// Acquire one buffer.

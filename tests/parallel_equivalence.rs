@@ -1,0 +1,171 @@
+//! Parallel-vs-serial equivalence: `run_many` must return `ResultSet`s
+//! byte-identical to the serial executor for every `VisStrategy` ×
+//! `ProjectAlgo` on both synthetic scales and the medical workload, and
+//! two parallel runs must be identical to each other (determinism). This
+//! is the lock on the Rc→Arc migration: any scheduling-dependent state
+//! that leaks into results shows up here as a diff.
+
+use ghostdb_datagen::{MedicalDataset, SyntheticDataset, SyntheticSpec};
+use ghostdb_exec::parallel::run_many;
+use ghostdb_exec::project::ProjectAlgo;
+use ghostdb_exec::strategy::VisStrategy;
+use ghostdb_exec::{Database, ExecOptions, Executor, ResultSet, SpjQuery};
+
+const STRATEGIES: [VisStrategy; 7] = [
+    VisStrategy::Pre,
+    VisStrategy::CrossPre,
+    VisStrategy::Post,
+    VisStrategy::CrossPost,
+    VisStrategy::PostSelect,
+    VisStrategy::CrossPostSelect,
+    VisStrategy::NoFilter,
+];
+const ALGOS: [ProjectAlgo; 3] = [
+    ProjectAlgo::Project,
+    ProjectAlgo::ProjectNoBf,
+    ProjectAlgo::BruteForce,
+];
+
+/// The full strategy × algorithm matrix over one query.
+fn matrix(q: &SpjQuery) -> Vec<(SpjQuery, ExecOptions)> {
+    let mut jobs = Vec::new();
+    for strategy in STRATEGIES {
+        for algo in ALGOS {
+            let mut q = q.clone();
+            q.text = format!("{} {} {}", q.text, strategy.name(), algo.name());
+            jobs.push((
+                q,
+                ExecOptions {
+                    forced_strategy: Some(strategy),
+                    project: Some(algo),
+                    ..Default::default()
+                },
+            ));
+        }
+    }
+    jobs
+}
+
+/// Serial reference: one database, one query at a time, in job order.
+fn serial(mut db: Database, jobs: &[(SpjQuery, ExecOptions)]) -> Vec<ResultSet> {
+    jobs.iter()
+        .map(|(q, o)| Executor::run(&mut db, q, o).expect("serial run").0)
+        .collect()
+}
+
+fn assert_equivalent(
+    label: &str,
+    build: impl Fn() -> Database + Sync,
+    jobs: &[(SpjQuery, ExecOptions)],
+) {
+    let want = serial(build(), jobs);
+    for threads in [2usize, 4, 8] {
+        let got = run_many(|| Ok(build()), jobs, threads).expect("parallel run");
+        assert_eq!(got.len(), want.len(), "{label}: job count");
+        for (i, ((rs, _), expect)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(
+                rs, expect,
+                "{label}: job {i} ({}) diverges from serial at threads={threads}",
+                jobs[i].0.text
+            );
+        }
+    }
+    // Determinism: two parallel runs are identical to each other.
+    let a = run_many(|| Ok(build()), jobs, 4).expect("first parallel run");
+    let b = run_many(|| Ok(build()), jobs, 4).expect("second parallel run");
+    for (i, ((ra, rep_a), (rb, rep_b))) in a.iter().zip(&b).enumerate() {
+        assert_eq!(ra, rb, "{label}: job {i} not deterministic across runs");
+        assert_eq!(
+            rep_a.total(),
+            rep_b.total(),
+            "{label}: job {i} simulated time not deterministic"
+        );
+    }
+}
+
+fn synthetic_query(ds: &SyntheticDataset) -> SpjQuery {
+    let t0 = ds.schema.root();
+    let t1 = ds.schema.table_id("T1").expect("T1");
+    let t12 = ds.schema.table_id("T12").expect("T12");
+    // Visible selection on T1, hidden selection on T12 (in T1's subtree, so
+    // every Cross strategy is applicable), mixed projections.
+    let mut q = SpjQuery::new()
+        .pred(t1, ds.selectivity_pred("T1", "v1", 0.05))
+        .pred(t12, ds.selectivity_pred("T12", "h2", 0.1))
+        .project(t0, "id")
+        .project(t1, "id")
+        .project(t1, "v1")
+        .project(t1, "h1");
+    q.text = "equivalence-Q".into();
+    q
+}
+
+#[test]
+fn synthetic_scale_1_all_strategies_and_algos() {
+    let mut spec = SyntheticSpec::paper(0.0005); // T0 = 5 000
+    spec.seed = 11;
+    let ds = SyntheticDataset::generate(spec);
+    let jobs = matrix(&synthetic_query(&ds));
+    assert_equivalent("synthetic x0.0005", || ds.build().expect("build"), &jobs);
+}
+
+#[test]
+fn synthetic_scale_2_all_strategies_and_algos() {
+    let mut spec = SyntheticSpec::paper(0.001); // T0 = 10 000
+    spec.seed = 11;
+    let ds = SyntheticDataset::generate(spec);
+    let jobs = matrix(&synthetic_query(&ds));
+    assert_equivalent("synthetic x0.001", || ds.build().expect("build"), &jobs);
+}
+
+#[test]
+fn medical_workload_all_strategies_and_algos() {
+    let ds = MedicalDataset::generate(0.002, 7);
+    let m = ds.schema.table_id("Measurements").expect("m");
+    let p = ds.schema.table_id("Patients").expect("p");
+    let d = ds.schema.table_id("Doctors").expect("d");
+    // The Figure 16 shape: visible on Patients, hidden on Doctors.
+    let mut q = SpjQuery::new()
+        .pred(p, ds.visible_pred(0.2))
+        .pred(d, ds.hidden_pred(0.1))
+        .project(m, "id")
+        .project(p, "id")
+        .project(d, "id")
+        .project(p, "first_name");
+    q.text = "equivalence-medical".into();
+    let jobs = matrix(&q);
+    assert_equivalent("medical x0.002", || ds.build().expect("build"), &jobs);
+}
+
+#[test]
+fn parallel_sweep_matches_serial_sweep_row_for_row() {
+    // The perfbench usage pattern: the same query under each strategy,
+    // executed as one run_many batch — results must land in input order
+    // (strategy i's result in slot i), not arrival order.
+    let ds = SyntheticDataset::generate(SyntheticSpec::small());
+    let t0 = ds.schema.root();
+    let t1 = ds.schema.table_id("T1").expect("T1");
+    let t12 = ds.schema.table_id("T12").expect("T12");
+    // Distinct selectivity per job so any slot mix-up changes cardinality.
+    let jobs: Vec<(SpjQuery, ExecOptions)> = (1..=6)
+        .map(|k| {
+            let mut q = SpjQuery::new()
+                .pred(t1, ds.selectivity_pred("T1", "v1", 0.1 * k as f64))
+                .pred(t12, ds.selectivity_pred("T12", "h2", 0.1))
+                .project(t0, "id")
+                .project(t1, "v1");
+            q.text = format!("sweep sv={}", 0.1 * k as f64);
+            (q, ExecOptions::auto())
+        })
+        .collect();
+    let want = serial(ds.build().expect("build"), &jobs);
+    let got = run_many(|| Ok(ds.build().expect("build")), &jobs, 3).expect("parallel");
+    let cards: Vec<usize> = want.iter().map(|r| r.rows.len()).collect();
+    assert!(
+        cards.windows(2).all(|w| w[0] <= w[1]),
+        "sweep cardinalities should grow with sv: {cards:?}"
+    );
+    for (i, ((rs, _), expect)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(rs, expect, "sweep job {i} out of order or diverged");
+    }
+}

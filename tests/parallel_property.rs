@@ -1,0 +1,143 @@
+//! Property test for the parallel executor: random SPJ query batches with
+//! random strategy/algorithm pins, executed serially and via `run_many` on
+//! 2–8 threads, must produce identical sorted output ids (in fact the
+//! whole `ResultSet`s are compared, row for row, which subsumes the sorted
+//! id check). The compile-time `Send + Sync` lock for the operator tree
+//! itself lives in `ghostdb_exec::parallel` (`const` assertions), so an
+//! `Rc` regression fails the build before it could ever fail here.
+
+use ghostdb_datagen::{pad8, SyntheticDataset, SyntheticSpec};
+use ghostdb_exec::parallel::run_many;
+use ghostdb_exec::project::ProjectAlgo;
+use ghostdb_exec::strategy::VisStrategy;
+use ghostdb_exec::{ExecOptions, Executor, SpjQuery};
+use ghostdb_storage::{CmpOp, Predicate, Value};
+use proptest::prelude::*;
+
+const STRATEGIES: [VisStrategy; 7] = [
+    VisStrategy::Pre,
+    VisStrategy::CrossPre,
+    VisStrategy::Post,
+    VisStrategy::CrossPost,
+    VisStrategy::PostSelect,
+    VisStrategy::CrossPostSelect,
+    VisStrategy::NoFilter,
+];
+const ALGOS: [ProjectAlgo; 3] = [
+    ProjectAlgo::Project,
+    ProjectAlgo::ProjectNoBf,
+    ProjectAlgo::BruteForce,
+];
+
+/// One random job: a query shape plus a pinned strategy/algorithm.
+#[derive(Debug, Clone)]
+struct JobSpec {
+    vis_t1_sel: Option<u32>, // v1 < k on T1 (of 200)
+    hid_t12_sel: u32,        // h2 < k on T12 (of 20; always present so every
+    // Cross strategy stays applicable)
+    project_h1: bool,
+    strategy: usize,
+    algo: usize,
+}
+
+fn job_spec() -> impl Strategy<Value = JobSpec> {
+    (
+        proptest::option::of(0u32..=200),
+        0u32..=20,
+        any::<bool>(),
+        0usize..7,
+        0usize..3,
+    )
+        .prop_map(
+            |(vis_t1_sel, hid_t12_sel, project_h1, strategy, algo)| JobSpec {
+                vis_t1_sel,
+                hid_t12_sel,
+                project_h1,
+                strategy,
+                algo,
+            },
+        )
+}
+
+fn to_job(spec: &JobSpec, ds: &SyntheticDataset) -> (SpjQuery, ExecOptions) {
+    let t0 = ds.schema.root();
+    let t1 = ds.schema.table_id("T1").expect("T1");
+    let t12 = ds.schema.table_id("T12").expect("T12");
+    let mut q = SpjQuery::new().project(t0, "id").project(t1, "id");
+    if let Some(k) = spec.vis_t1_sel {
+        q = q.pred(t1, Predicate::new("v1", CmpOp::Lt, pad8(k as u64), None));
+    }
+    q = q.pred(
+        t12,
+        Predicate::new("h2", CmpOp::Lt, pad8(spec.hid_t12_sel as u64), None),
+    );
+    if spec.project_h1 {
+        q = q.project(t1, "h1");
+    }
+    q.text = format!("{spec:?}");
+    (
+        q,
+        ExecOptions {
+            forced_strategy: Some(STRATEGIES[spec.strategy]),
+            project: Some(ALGOS[spec.algo]),
+            ..Default::default()
+        },
+    )
+}
+
+/// Root ids of a result, sorted — the invariant the ISSUE asks for.
+fn sorted_ids(rows: &[Vec<Value>]) -> Vec<i64> {
+    let mut ids: Vec<i64> = rows
+        .iter()
+        .map(|r| match r[0] {
+            Value::Int(v) => v,
+            ref other => panic!("id column is Int, got {other:?}"),
+        })
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_batches_match_serial_on_2_to_8_threads(
+        specs in proptest::collection::vec(job_spec(), 1..7),
+        threads in 2usize..=8,
+    ) {
+        let mut dspec = SyntheticSpec::small(); // T0 = 2000
+        dspec.indexed = vec![("T12".into(), "h2".into())];
+        let ds = SyntheticDataset::generate(dspec);
+        let jobs: Vec<(SpjQuery, ExecOptions)> =
+            specs.iter().map(|s| to_job(s, &ds)).collect();
+
+        let mut db = ds.build().expect("serial build");
+        let serial: Vec<_> = jobs
+            .iter()
+            .map(|(q, o)| Executor::run(&mut db, q, o).expect("serial run").0)
+            .collect();
+
+        let parallel = run_many(|| ds.build(), &jobs, threads).expect("parallel run");
+
+        prop_assert_eq!(parallel.len(), serial.len());
+        for (i, ((rs, _), expect)) in parallel.iter().zip(&serial).enumerate() {
+            prop_assert_eq!(
+                sorted_ids(&rs.rows),
+                sorted_ids(&expect.rows),
+                "job {} ({}): sorted ids diverge at threads={}",
+                i,
+                jobs[i].0.text,
+                threads
+            );
+            prop_assert_eq!(
+                &rs.rows,
+                &expect.rows,
+                "job {} ({}): full rows diverge at threads={}",
+                i,
+                jobs[i].0.text,
+                threads
+            );
+        }
+    }
+}
