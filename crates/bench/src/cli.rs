@@ -27,6 +27,23 @@ pub fn parse_positive(flag: &str, raw: &str, usage: &str) -> f64 {
     try_parse_positive(flag, raw).unwrap_or_else(|msg| usage_error(&msg, usage))
 }
 
+/// Validate a numeric flag value that must be finite and ≥ 0
+/// (`--tolerance 0` is the exact-wall-time gate).
+pub fn try_parse_nonnegative(flag: &str, raw: &str) -> Result<f64, String> {
+    let v: f64 = raw
+        .parse()
+        .map_err(|_| format!("bad {flag} (expected a number)"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("{flag} must be a non-negative number, got {raw}"));
+    }
+    Ok(v)
+}
+
+/// Parse a numeric flag value that must be finite and ≥ 0.
+pub fn parse_nonnegative(flag: &str, raw: &str, usage: &str) -> f64 {
+    try_parse_nonnegative(flag, raw).unwrap_or_else(|msg| usage_error(&msg, usage))
+}
+
 /// Validate a count flag value (`--iters`, `--threads`): an integer ≥ 1.
 /// Zero, negatives, fractions and non-numbers are all rejected.
 pub fn try_parse_count(flag: &str, raw: &str) -> Result<usize, String> {
@@ -77,6 +94,18 @@ mod tests {
             let err = try_parse_count("--threads", bad)
                 .expect_err(&format!("--threads {bad:?} must be rejected"));
             assert!(err.contains("--threads"), "message names the flag: {err}");
+        }
+    }
+
+    #[test]
+    fn tolerance_flag_accepts_zero_and_positive() {
+        assert_eq!(try_parse_nonnegative("--tolerance", "0"), Ok(0.0));
+        assert_eq!(try_parse_nonnegative("--tolerance", "150"), Ok(150.0));
+        assert_eq!(try_parse_nonnegative("--tolerance", "2.5"), Ok(2.5));
+        for bad in ["-1", "nan", "inf", "x", ""] {
+            let err = try_parse_nonnegative("--tolerance", bad)
+                .expect_err(&format!("--tolerance {bad:?} must be rejected"));
+            assert!(err.contains("--tolerance"), "message names the flag: {err}");
         }
     }
 

@@ -318,13 +318,21 @@ pub fn check_bench(doc: &Json) -> Result<BenchSummary, String> {
         .and_then(Json::as_str)
         .filter(|m| *m == "full" || *m == "smoke")
         .ok_or("mode must be \"full\" or \"smoke\"")?;
-    // `threads` arrived with the parallel harness; older documents (and the
-    // committed PR-2 baseline) predate it, so absence is accepted.
-    if let Some(t) = doc.get("threads") {
-        let t = t.as_num().ok_or("threads must be a number")?;
-        if t.fract() != 0.0 || t < 1.0 {
-            return Err(format!("threads must be an integer ≥ 1, got {t}"));
+    // `threads` arrived with the parallel harness, `intra_threads` with the
+    // intra-query one; older documents (and the committed PR-2 baseline)
+    // predate them, so absence is accepted.
+    for field in ["threads", "intra_threads"] {
+        if let Some(t) = doc.get(field) {
+            let t = t.as_num().ok_or(format!("{field} must be a number"))?;
+            if t.fract() != 0.0 || t < 1.0 {
+                return Err(format!("{field} must be an integer ≥ 1, got {t}"));
+            }
         }
+    }
+    if let Some(p) = doc.get("spill_policy") {
+        p.as_str()
+            .filter(|p| *p == "widest-smallest" || *p == "global-smallest-k")
+            .ok_or("spill_policy must be \"widest-smallest\" or \"global-smallest-k\"")?;
     }
     let entries = doc
         .get("entries")
@@ -400,6 +408,90 @@ pub fn compare_scenarios(a: &Json, b: &Json) -> Result<usize, String> {
         }
     }
     Ok(na.len())
+}
+
+fn entries_by_name(doc: &Json) -> Vec<(&str, &Json)> {
+    doc.get("entries")
+        .and_then(Json::as_arr)
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|e| e.get("scenario").and_then(Json::as_str).map(|n| (n, e)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// The CI perf regression gate: compare the `micro/*` wall times of a
+/// fresh document `b` against the committed baseline `a`, failing when any
+/// common microbench regressed beyond `tolerance_pct` percent. Only the
+/// **intersection** of micro scenario names is judged — the baseline is a
+/// full-matrix run while CI produces a smoke run, so the query scenarios
+/// (scale-dependent names) legitimately differ; micro names do not depend
+/// on the matrix. Returns the number of microbenches compared.
+pub fn compare_micro_wall(a: &Json, b: &Json, tolerance_pct: f64) -> Result<usize, String> {
+    check_bench(a).map_err(|e| format!("first document: {e}"))?;
+    check_bench(b).map_err(|e| format!("second document: {e}"))?;
+    if !tolerance_pct.is_finite() || tolerance_pct < 0.0 {
+        return Err(format!("tolerance must be ≥ 0, got {tolerance_pct}"));
+    }
+    let base = entries_by_name(a);
+    let fresh = entries_by_name(b);
+    let wall = |e: &Json| e.get("wall_ns").and_then(Json::as_num).expect("checked");
+    let mut compared = 0usize;
+    let mut regressions: Vec<String> = Vec::new();
+    for (name, be) in &base {
+        if !name.starts_with("micro/") {
+            continue;
+        }
+        let Some((_, fe)) = fresh.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        compared += 1;
+        let (old, new) = (wall(be), wall(fe));
+        let limit = old * (1.0 + tolerance_pct / 100.0);
+        if new > limit {
+            regressions.push(format!(
+                "{name}: {old:.0} ns → {new:.0} ns ({:+.1}% > +{tolerance_pct}%)",
+                (new / old.max(1.0) - 1.0) * 100.0
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err("no common micro/* scenarios to compare".into());
+    }
+    if !regressions.is_empty() {
+        return Err(format!(
+            "{} micro wall-clock regression(s) beyond tolerance:\n  {}",
+            regressions.len(),
+            regressions.join("\n  ")
+        ));
+    }
+    Ok(compared)
+}
+
+/// The intra-parallel gate: scenario names must match exactly (as in
+/// [`compare_scenarios`]) AND every entry's deterministic observations —
+/// `simulated_s`, `ops`, `bytes_io` — must be **bit-identical** between
+/// the two documents. Wall time is exempt (it is the one thing intra-query
+/// parallelism is allowed to change). Returns the entry count.
+pub fn compare_exact_sim(a: &Json, b: &Json) -> Result<usize, String> {
+    let n = compare_scenarios(a, b)?;
+    let ea = entries_by_name(a);
+    let eb = entries_by_name(b);
+    for ((name, x), (_, y)) in ea.iter().zip(&eb) {
+        for field in ["simulated_s", "ops", "bytes_io"] {
+            let vx = x.get(field).and_then(Json::as_num).expect("checked");
+            let vy = y.get(field).and_then(Json::as_num).expect("checked");
+            if vx != vy {
+                return Err(format!(
+                    "{name}: {field} diverges ({vx} vs {vy}) — intra-parallel \
+                     execution must not change simulated observations"
+                ));
+            }
+        }
+    }
+    Ok(n)
 }
 
 #[cfg(test)]
@@ -510,6 +602,101 @@ mod tests {
         assert!(check_bench(&with_threads(Json::Num(0.0))).is_err());
         assert!(check_bench(&with_threads(Json::Num(2.5))).is_err());
         assert!(check_bench(&with_threads(Json::Str("2".into()))).is_err());
+    }
+
+    fn with_entry_field(mut d: Json, idx: usize, field: usize, v: Json) -> Json {
+        if let Json::Obj(fields) = &mut d {
+            if let Json::Arr(entries) = &mut fields[2].1 {
+                if let Json::Obj(e) = &mut entries[idx] {
+                    e[field].1 = v;
+                }
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn micro_wall_gate_tolerates_and_catches_regressions() {
+        let names: Vec<String> = (0..12)
+            .map(|i| format!("q{i}"))
+            .chain(["micro/a".into(), "micro/b".into()])
+            .collect();
+        let base = doc(&names);
+        // Identical runs always pass, any tolerance.
+        assert_eq!(compare_micro_wall(&base, &base, 0.0), Ok(2));
+        // +40% on one micro: passes at 50%, fails at 20%. (entry field 1 is
+        // wall_ns; micro/a is entry 12.)
+        let slower = with_entry_field(base.clone(), 12, 1, Json::Num(140.0));
+        assert_eq!(compare_micro_wall(&base, &slower, 50.0), Ok(2));
+        let err = compare_micro_wall(&base, &slower, 20.0).unwrap_err();
+        assert!(err.contains("micro/a"), "{err}");
+        // Query-scenario wall changes never trip the gate.
+        let q_slower = with_entry_field(base.clone(), 0, 1, Json::Num(1e12));
+        assert_eq!(compare_micro_wall(&base, &q_slower, 0.0), Ok(2));
+        // Disjoint micro sets cannot be judged.
+        let mut other_names = names.clone();
+        other_names[12] = "micro/x".into();
+        other_names[13] = "micro/y".into();
+        assert!(compare_micro_wall(&base, &doc(&other_names), 50.0).is_err());
+        // Baseline smoke/full drift in query names is fine: only the micro
+        // intersection matters.
+        let mut smoke_names: Vec<String> = (0..12).map(|i| format!("s{i}")).collect();
+        smoke_names.extend(["micro/a".into(), "micro/b".into()]);
+        assert_eq!(compare_micro_wall(&base, &doc(&smoke_names), 10.0), Ok(2));
+        // Negative tolerance is rejected.
+        assert!(compare_micro_wall(&base, &base, -1.0).is_err());
+    }
+
+    #[test]
+    fn exact_sim_gate_requires_identical_observations() {
+        let names: Vec<String> = (0..12)
+            .map(|i| format!("q{i}"))
+            .chain(std::iter::once("micro/x".into()))
+            .collect();
+        let base = doc(&names);
+        assert_eq!(compare_exact_sim(&base, &base), Ok(13));
+        // Wall time may move freely...
+        let wall_moved = with_entry_field(base.clone(), 3, 1, Json::Num(9_999_999.0));
+        assert_eq!(compare_exact_sim(&base, &wall_moved), Ok(13));
+        // ...but simulated_s (field 2), ops (3) and bytes_io (4) may not.
+        for field in [2usize, 3, 4] {
+            let drift = with_entry_field(base.clone(), 5, field, Json::Num(123_456.0));
+            let err = compare_exact_sim(&base, &drift).unwrap_err();
+            assert!(err.contains("q5"), "{err}");
+        }
+        // Name drift still fails first.
+        let mut renamed = names.clone();
+        renamed[0] = "other".into();
+        assert!(compare_exact_sim(&base, &doc(&renamed)).is_err());
+    }
+
+    #[test]
+    fn checker_validates_optional_intra_threads_and_spill_policy() {
+        let names: Vec<String> = (0..12)
+            .map(|i| format!("q{i}"))
+            .chain(std::iter::once("micro/x".into()))
+            .collect();
+        let with_field = |k: &str, v: Json| {
+            let Json::Obj(mut fields) = doc(&names) else {
+                unreachable!()
+            };
+            fields.push((k.into(), v));
+            Json::Obj(fields)
+        };
+        assert!(check_bench(&with_field("intra_threads", Json::Num(2.0))).is_ok());
+        assert!(check_bench(&with_field("intra_threads", Json::Num(0.0))).is_err());
+        assert!(check_bench(&with_field("intra_threads", Json::Num(1.5))).is_err());
+        assert!(check_bench(&with_field(
+            "spill_policy",
+            Json::Str("widest-smallest".into())
+        ))
+        .is_ok());
+        assert!(check_bench(&with_field(
+            "spill_policy",
+            Json::Str("global-smallest-k".into())
+        ))
+        .is_ok());
+        assert!(check_bench(&with_field("spill_policy", Json::Str("bogus".into()))).is_err());
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub mod perf;
 use ghostdb_datagen::{MedicalDataset, SyntheticDataset, SyntheticSpec};
 use ghostdb_exec::project::ProjectAlgo;
 use ghostdb_exec::strategy::VisStrategy;
-use ghostdb_exec::{Database, ExecOptions, ExecReport, Executor, SpjQuery};
+use ghostdb_exec::{Database, ExecOptions, ExecReport, Executor, SpillPolicy, SpjQuery};
 use ghostdb_index::size_model::{db_raw_bytes, scheme_index_bytes, SizeModelInput};
 use ghostdb_index::IndexScheme;
 use ghostdb_storage::schema::paper_synthetic_schema;
@@ -41,6 +41,18 @@ pub fn build_synthetic(scale: f64) -> (SyntheticDataset, Database) {
     spec.visible_attrs = 3; // Figure 14 projects up to 3 visible attributes
     let ds = SyntheticDataset::generate(spec);
     let db = ds.build().expect("synthetic build");
+    (ds, db)
+}
+
+/// Build the Zipf-skewed synthetic variant (values Zipf(1.2) over the
+/// ordinal domain instead of uniform permutations): heavy-headed index
+/// sublists and Bloom inputs, the selectivity regime the uniform matrix
+/// never reaches.
+pub fn build_synthetic_zipf(scale: f64) -> (SyntheticDataset, Database) {
+    let mut spec = SyntheticSpec::paper_zipf(scale, 1.2);
+    spec.visible_attrs = 3;
+    let ds = SyntheticDataset::generate(spec);
+    let db = ds.build().expect("synthetic zipf build");
     (ds, db)
 }
 
@@ -74,10 +86,26 @@ pub fn run_with(
     strategy: VisStrategy,
     algo: ProjectAlgo,
 ) -> ExecReport {
+    run_with_tuned(db, q, strategy, algo, 1, SpillPolicy::default())
+}
+
+/// [`run_with`] with explicit intra-query worker budget and spill policy
+/// (the `perfbench --intra-threads` / `--spill-policy` path). Simulated
+/// numbers are bit-identical across `intra` values; only wall time moves.
+pub fn run_with_tuned(
+    db: &mut Database,
+    q: &SpjQuery,
+    strategy: VisStrategy,
+    algo: ProjectAlgo,
+    intra: usize,
+    spill: SpillPolicy,
+) -> ExecReport {
     let opts = ExecOptions {
         strategies: vec![],
         forced_strategy: Some(strategy),
         project: Some(algo),
+        intra_threads: intra,
+        spill_policy: spill,
     };
     let (_, report) = Executor::run(db, q, &opts).expect("query runs");
     report

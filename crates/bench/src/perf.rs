@@ -76,13 +76,24 @@ pub fn measure(
 }
 
 /// Assemble the BENCH.json document. `threads` records how many worker
-/// threads the query sweeps fanned across (1 = the serial harness).
-pub fn bench_doc(mode: &str, threads: usize, entries: &[BenchEntry]) -> Json {
+/// threads the query sweeps fanned across (1 = the serial harness),
+/// `intra_threads` how many lanes each query fanned its own operators
+/// across, and `spill_policy` the reduction-phase policy in force — the
+/// knobs whose A/B numbers the document exists to carry.
+pub fn bench_doc(
+    mode: &str,
+    threads: usize,
+    intra_threads: usize,
+    spill_policy: &str,
+    entries: &[BenchEntry],
+) -> Json {
     Json::Obj(vec![
         ("schema_version".into(), Json::Num(1.0)),
         ("generator".into(), Json::Str("perfbench".into())),
         ("mode".into(), Json::Str(mode.into())),
         ("threads".into(), Json::Num(threads as f64)),
+        ("intra_threads".into(), Json::Num(intra_threads as f64)),
+        ("spill_policy".into(), Json::Str(spill_policy.into())),
         (
             "entries".into(),
             Json::Arr(entries.iter().map(BenchEntry::to_json).collect()),
@@ -129,7 +140,7 @@ mod tests {
                 bytes_io: 0,
             }))
             .collect();
-        let doc = bench_doc("smoke", 2, &entries);
+        let doc = bench_doc("smoke", 2, 2, "widest-smallest", &entries);
         let text = doc.render();
         let parsed = Json::parse(&text).unwrap();
         crate::json::check_bench(&parsed).unwrap();

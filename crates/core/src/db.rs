@@ -47,6 +47,9 @@ pub struct QueryOptions {
     pub per_table: Vec<(String, VisStrategy)>,
     /// Projection algorithm.
     pub project: Option<ProjectAlgo>,
+    /// Intra-query worker lanes (`None` = serial; results and reports are
+    /// bit-identical at any value).
+    pub intra_threads: Option<usize>,
 }
 
 /// A GhostDB instance: schema staging, the loaded database, and the two
@@ -266,6 +269,8 @@ impl GhostDb {
             strategies,
             forced_strategy: opts.strategy,
             project: opts.project,
+            intra_threads: opts.intra_threads.unwrap_or(1),
+            ..Default::default()
         })
     }
 
@@ -307,7 +312,7 @@ impl GhostDb {
         for sel in &a.hid_sels {
             out.push_str(&format!(
                 "  hidden selection on {}.{} → climbing index{}\n",
-                ctx.schema.def(sel.table).name,
+                ctx.cat.schema.def(sel.table).name,
                 sel.pred.column,
                 if sel.exact {
                     ""
@@ -319,7 +324,7 @@ impl GhostDb {
         for d in &decisions {
             out.push_str(&format!(
                 "  visible selection on {} → {}\n",
-                ctx.schema.def(d.table).name,
+                ctx.cat.schema.def(d.table).name,
                 d.strategy.name()
             ));
         }

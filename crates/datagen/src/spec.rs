@@ -25,6 +25,14 @@ pub struct SyntheticSpec {
     pub seed: u64,
     /// Channel throughput (bytes/s).
     pub channel_bytes_per_sec: u64,
+    /// Zipf exponent for attribute values. `None` (the paper's setting)
+    /// draws each column as a uniform permutation of `0..rows`, so a
+    /// predicate threshold maps to an exact selectivity. `Some(s)` draws
+    /// values Zipf(s)-skewed over the same ordinal domain instead —
+    /// duplicates concentrate on the small ordinals, so index sublists and
+    /// Bloom inputs become heavy-headed (the workload shape uniform data
+    /// never exercises).
+    pub value_skew: Option<f64>,
 }
 
 impl SyntheticSpec {
@@ -43,7 +51,17 @@ impl SyntheticSpec {
             ],
             seed: 0x9e37_79b9,
             channel_bytes_per_sec: 1_500_000,
+            value_skew: None,
         }
+    }
+
+    /// The evaluation configuration with Zipf(`s`)-skewed attribute values
+    /// (`s` ≈ 1.2 is the classic web/reference skew).
+    pub fn paper_zipf(scale: f64, s: f64) -> Self {
+        let mut spec = SyntheticSpec::paper(scale);
+        spec.value_skew = Some(s);
+        spec.seed = 0x51ab_0f5e; // distinct stream from the uniform variant
+        spec
     }
 
     /// A small configuration for tests.

@@ -34,7 +34,7 @@ impl BloomHandle {
 /// `op` attributes the build I/O: `Bloom` during select-join processing,
 /// `ProjBloom` during projection.
 pub fn build_bloom(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, '_>,
     op: OpKind,
     n: u64,
     sources: &[IdSource],
@@ -54,10 +54,12 @@ pub fn build_bloom(
             .map(|s| SourceReader::open(s, &ram, ctx.page_size()))
             .collect::<Result<Vec<_>>>()?;
         let mut union = UnionStream::new(readers);
-        while let Some(id) = union.next(&mut ctx.token.flash)? {
-            filter.insert(id as u64);
-        }
-        Ok(())
+        ctx.lane.with_flash(|dev| {
+            while let Some(id) = union.next(dev)? {
+                filter.insert(id as u64);
+            }
+            Ok(())
+        })
     })?;
     Ok(Some(BloomHandle {
         filter,
@@ -68,10 +70,10 @@ pub fn build_bloom(
 /// Build a Bloom filter from an ID iterator already streaming through the
 /// token (e.g. a pipelined merge); the caller attributes the producer's I/O.
 pub fn build_bloom_from_iter(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, '_>,
     n_estimate: u64,
     budget_bytes: usize,
-    mut next: impl FnMut(&mut ExecCtx<'_>) -> Result<Option<Id>>,
+    mut next: impl FnMut(&mut ExecCtx<'_, '_>) -> Result<Option<Id>>,
 ) -> Result<Option<BloomHandle>> {
     let Some(cal) = calibrate(n_estimate, budget_bytes) else {
         return Ok(None);

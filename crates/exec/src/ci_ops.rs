@@ -15,13 +15,13 @@ use ghostdb_index::ClimbingIndex;
 use ghostdb_storage::{Id, Predicate, TableId};
 
 /// Resolve the level index of `target` in `ci`, erroring with context.
-pub fn level_of(ctx: &ExecCtx<'_>, ci: &ClimbingIndex, target: TableId) -> Result<usize> {
+pub fn level_of(ctx: &ExecCtx<'_, '_>, ci: &ClimbingIndex, target: TableId) -> Result<usize> {
     ci.level_of(target).ok_or_else(|| {
         ExecError::StrategyNotApplicable(format!(
             "index on {}.{} does not climb to {}",
-            ctx.schema.def(ci.table).name,
+            ctx.cat.schema.def(ci.table).name,
             ci.column,
-            ctx.schema.def(target).name
+            ctx.cat.schema.def(target).name
         ))
     })
 }
@@ -29,7 +29,7 @@ pub fn level_of(ctx: &ExecCtx<'_>, ci: &ClimbingIndex, target: TableId) -> Resul
 /// `CI(I, attribute θ value, target)`: one sorted sublist per matching
 /// entry.
 pub fn select_sublists(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, '_>,
     ci: &ClimbingIndex,
     pred: &Predicate,
     target: TableId,
@@ -39,7 +39,9 @@ pub fn select_sublists(
     ctx.track(OpKind::Ci, |ctx| {
         let ram = ctx.ram();
         let mut probe = ci.probe(&ram)?;
-        let lists = probe.lookup_range(&mut ctx.token.flash, lo, hi, level)?;
+        let lists = ctx
+            .lane
+            .with_flash(|dev| probe.lookup_range(dev, lo, hi, level))?;
         Ok(lists.into_iter().map(IdSource::Flash).collect())
     })
 }
@@ -49,7 +51,7 @@ pub fn select_sublists(
 /// lookup" of Cross-Post plans "can be easily avoided in practice", since
 /// every leaf payload carries all levels.
 pub fn select_sublists_multi(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, '_>,
     ci: &ClimbingIndex,
     pred: &Predicate,
     targets: &[TableId],
@@ -71,10 +73,13 @@ pub fn select_sublists_multi(
         // cached (the cursor pins one buffer per level, so the second pass
         // re-reads only leaf pages already in RAM at zero charged cost for
         // cached pages).
-        for (i, level) in levels.iter().enumerate() {
-            let lists = probe.lookup_range(&mut ctx.token.flash, lo, hi, *level)?;
-            out[i] = lists.into_iter().map(IdSource::Flash).collect();
-        }
+        ctx.lane.with_flash(|dev| -> Result<()> {
+            for (i, level) in levels.iter().enumerate() {
+                let lists = probe.lookup_range(dev, lo, hi, *level)?;
+                out[i] = lists.into_iter().map(IdSource::Flash).collect();
+            }
+            Ok(())
+        })?;
         Ok(out)
     })
 }
@@ -87,7 +92,7 @@ pub fn select_sublists_multi(
 /// ids falling in the same leaf are resolved in place without per-id
 /// root-to-leaf descents.
 pub fn probe_in(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, '_>,
     ci: &ClimbingIndex,
     probe_ids: &[Id],
     target: TableId,
@@ -98,7 +103,9 @@ pub fn probe_in(
     ctx.track(OpKind::Ci, |ctx| {
         let ram = ctx.ram();
         let mut probe = ci.probe(&ram)?;
-        let lists = probe.lookup_eq_run(&mut ctx.token.flash, &keys, level)?;
+        let lists = ctx
+            .lane
+            .with_flash(|dev| probe.lookup_eq_run(dev, &keys, level))?;
         Ok(lists
             .into_iter()
             .filter(|l| l.count > 0)

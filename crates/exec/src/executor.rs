@@ -1,7 +1,8 @@
 //! The executor: assembles the Figure 6 global QEP and runs it.
 
-use crate::ctx::ExecCtx;
+use crate::ctx::{ExecCtx, SpillPolicy};
 use crate::database::Database;
+use crate::error::ExecError;
 use crate::optimizer;
 use crate::project::{self, ProjectAlgo};
 use crate::query::{analyze, SpjQuery};
@@ -12,7 +13,7 @@ use crate::Result;
 use ghostdb_storage::TableId;
 
 /// Execution options.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Per-table pinned decisions (Mixed plans, §3.3); unlisted tables fall
     /// to `forced_strategy` or the optimizer.
@@ -22,6 +23,23 @@ pub struct ExecOptions {
     pub forced_strategy: Option<crate::strategy::VisStrategy>,
     /// Projection algorithm (default: the full Project algorithm).
     pub project: Option<ProjectAlgo>,
+    /// Intra-query worker lanes for operator fan-out (1 = serial; results
+    /// and per-operator attribution are bit-identical at any value).
+    pub intra_threads: usize,
+    /// Reduction-phase spill policy (`merge::reduce`).
+    pub spill_policy: SpillPolicy,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            strategies: Vec::new(),
+            forced_strategy: None,
+            project: None,
+            intra_threads: 1,
+            spill_policy: SpillPolicy::default(),
+        }
+    }
 }
 
 impl ExecOptions {
@@ -43,6 +61,18 @@ impl ExecOptions {
         self.project = Some(algo);
         self
     }
+
+    /// Intra-query worker budget.
+    pub fn with_intra_threads(mut self, threads: usize) -> Self {
+        self.intra_threads = threads;
+        self
+    }
+
+    /// Reduction-phase spill policy.
+    pub fn with_spill_policy(mut self, policy: SpillPolicy) -> Self {
+        self.spill_policy = policy;
+        self
+    }
 }
 
 /// The query executor.
@@ -55,15 +85,21 @@ impl Executor {
         q: &SpjQuery,
         opts: &ExecOptions,
     ) -> Result<(ResultSet, ExecReport)> {
+        if opts.intra_threads == 0 {
+            return Err(ExecError::Query("intra_threads must be ≥ 1".into()));
+        }
         db.begin_query();
         let a = analyze(&db.schema, q)?;
         let mut ctx = ExecCtx::new(db);
-        let flash_snap = ctx.token.flash.snapshot();
+        ctx.intra = opts.intra_threads;
+        ctx.spill = opts.spill_policy;
 
         // The query travels to the token in the clear (it is the one thing
         // an observer legitimately learns), and the token acknowledges.
-        ctx.untrusted.submit_query(&mut ctx.token.channel, &q.text);
-        ctx.token.channel.send_to_untrusted("query-ack", &[1]);
+        let untrusted = ctx.cat.untrusted;
+        let channel = ctx.channel()?;
+        untrusted.submit_query(channel, &q.text);
+        channel.send_to_untrusted("query-ack", &[1]);
 
         // Strategy decisions: pinned tables first, optimizer for the rest.
         let auto = optimizer::decide(&ctx, &a)?;
@@ -80,25 +116,21 @@ impl Executor {
             decisions.push(chosen);
         }
 
+        let root = ctx.cat.schema.root();
         let proj_tables: Vec<TableId> = a
             .projections
             .iter()
             .map(|(t, _)| *t)
-            .filter(|t| *t != db_root(&ctx))
+            .filter(|t| *t != root)
             .collect();
 
         let sj = execute_sj(&mut ctx, &a, &decisions, &proj_tables)?;
         let algo = opts.project.unwrap_or(ProjectAlgo::Project);
         let result = project::execute(&mut ctx, &a, sj, algo)?;
 
-        ctx.report.result_rows = result.rows.len() as u64;
         ctx.free_temps()?;
-        ctx.finish_report(&flash_snap);
-        let report = ctx.report.clone();
+        let mut report = ctx.finish_report();
+        report.result_rows = result.rows.len() as u64;
         Ok((result, report))
     }
-}
-
-fn db_root(ctx: &ExecCtx<'_>) -> TableId {
-    ctx.schema.root()
 }

@@ -43,7 +43,7 @@ pub mod strategy;
 #[doc(hidden)]
 pub mod testkit;
 
-pub use ctx::ExecCtx;
+pub use ctx::{CatalogCtx, CostScope, DeviceLane, ExecCtx, SpillPolicy};
 pub use database::Database;
 pub use error::ExecError;
 pub use executor::{ExecOptions, Executor};

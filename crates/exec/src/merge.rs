@@ -7,9 +7,11 @@
 //! from visible selections), a **reduction phase** first unions the
 //! *smallest* sublists of a group into materialised temporaries until the
 //! remainder fits — the paper's "alternative 1", whose linear cost makes the
-//! smallest sublists the best candidates.
+//! smallest sublists the best candidates. Which group spills first is the
+//! [`SpillPolicy`] (A/B-comparable by number through `perfbench
+//! --spill-policy`).
 
-use crate::ctx::ExecCtx;
+use crate::ctx::{ExecCtx, SpillPolicy};
 use crate::error::ExecError;
 use crate::report::OpKind;
 use crate::source::{IdSource, IntersectStream, SourceReader, UnionStream};
@@ -26,12 +28,8 @@ pub struct MergeStream {
 
 impl MergeStream {
     /// Pull the next ID, attributing its I/O to `Merge`.
-    pub fn next(&mut self, ctx: &mut ExecCtx<'_>) -> Result<Option<Id>> {
-        let snap = ctx.token.flash.snapshot();
-        let out = self.intersect.next(&mut ctx.token.flash);
-        let d = ctx.token.flash.elapsed_since(&snap);
-        ctx.report.add(OpKind::Merge, d);
-        out
+    pub fn next(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Id>> {
+        ctx.tracked(OpKind::Merge, |dev| self.intersect.next(dev))
     }
 }
 
@@ -44,11 +42,33 @@ fn flash_sources(groups: &[Vec<IdSource>]) -> usize {
         .sum()
 }
 
+/// Pick the group the reduction phase spills next, under `policy`. Only
+/// groups with ≥ 2 flash sublists can make progress (unioning a single
+/// sublist with nothing just copies it); `None` when no group qualifies.
+fn pick_spill_group(groups: &[Vec<IdSource>], policy: SpillPolicy) -> Option<usize> {
+    let reducible = |g: &Vec<IdSource>| g.iter().filter(|s| s.buffers_needed() > 0).count() >= 2;
+    match policy {
+        SpillPolicy::WidestSmallest => (0..groups.len())
+            .filter(|i| reducible(&groups[*i]))
+            .max_by_key(|i| groups[*i].iter().map(|s| s.buffers_needed()).sum::<usize>()),
+        SpillPolicy::GlobalSmallestK => (0..groups.len())
+            .filter(|i| reducible(&groups[*i]))
+            .min_by_key(|i| {
+                groups[*i]
+                    .iter()
+                    .filter(|s| s.buffers_needed() > 0)
+                    .map(|s| s.count())
+                    .min()
+                    .unwrap_or(u64::MAX)
+            }),
+    }
+}
+
 /// Reduction phase: union the smallest flash sublists of oversized groups
 /// into single temp lists until one buffer per remaining sublist fits in
 /// `available - reserve` buffers. Reduction I/O (reads *and* temp writes)
 /// is Merge cost, matching the paper's accounting of its multi-pass nature.
-fn reduce(ctx: &mut ExecCtx<'_>, groups: &mut [Vec<IdSource>], reserve: usize) -> Result<()> {
+fn reduce(ctx: &mut ExecCtx<'_, '_>, groups: &mut [Vec<IdSource>], reserve: usize) -> Result<()> {
     loop {
         let avail = ctx.ram().available().saturating_sub(reserve);
         if flash_sources(groups) <= avail {
@@ -62,10 +82,15 @@ fn reduce(ctx: &mut ExecCtx<'_>, groups: &mut [Vec<IdSource>], reserve: usize) -
                 capacity: ctx.ram().capacity(),
             }));
         }
-        // Group with the most flash sublists is reduced first.
-        let gi = (0..groups.len())
-            .max_by_key(|i| groups[*i].iter().map(|s| s.buffers_needed()).sum::<usize>())
-            .expect("non-empty groups");
+        let Some(gi) = pick_spill_group(groups, ctx.spill) else {
+            // Every oversized group holds a single (irreducible) sublist:
+            // reduction cannot shrink the buffer need any further.
+            return Err(ExecError::Token(TokenError::OutOfRam {
+                requested: flash_sources(groups) + reserve,
+                available: ctx.ram().available(),
+                capacity: ctx.ram().capacity(),
+            }));
+        };
         // Partition: flash sublists (candidates) vs free sources.
         let group = std::mem::take(&mut groups[gi]);
         let (mut flash, other): (Vec<IdSource>, Vec<IdSource>) =
@@ -84,28 +109,30 @@ fn reduce(ctx: &mut ExecCtx<'_>, groups: &mut [Vec<IdSource>], reserve: usize) -
 }
 
 /// Union a batch of sources into a fresh temp list.
-fn union_to_temp(ctx: &mut ExecCtx<'_>, batch: &[IdSource]) -> Result<IdList> {
+fn union_to_temp(ctx: &mut ExecCtx<'_, '_>, batch: &[IdSource]) -> Result<IdList> {
     let max_ids: u64 = batch.iter().map(|s| s.count()).sum();
     let page_size = ctx.page_size();
     let ram = ctx.ram();
-    let mut writer = IdListWriter::create(ctx.alloc, &ram, max_ids, page_size)?;
+    let mut writer = IdListWriter::create(ctx.lane.alloc(), &ram, max_ids, page_size)?;
     ctx.add_temp(writer.segment());
     let readers = batch
         .iter()
         .map(|s| SourceReader::open(s, &ram, page_size))
         .collect::<Result<Vec<_>>>()?;
     let mut union = UnionStream::new(readers);
-    while let Some(id) = union.next(&mut ctx.token.flash)? {
-        writer.push(&mut ctx.token.flash, id)?;
-    }
-    Ok(writer.finish(&mut ctx.token.flash)?)
+    ctx.lane.with_flash(|dev| {
+        while let Some(id) = union.next(dev)? {
+            writer.push(dev, id)?;
+        }
+        Ok(writer.finish(dev)?)
+    })
 }
 
 /// Open a merge over CNF groups, reserving `reserve` RAM buffers for the
 /// downstream consumer (pipelining budget, §3.4). Runs the reduction phase
 /// if needed.
 pub fn open_merge(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, '_>,
     mut groups: Vec<Vec<IdSource>>,
     reserve: usize,
 ) -> Result<MergeStream> {
@@ -123,7 +150,7 @@ pub fn open_merge(
 
 /// Merge to a materialised sorted ID list on flash. Read side is Merge,
 /// output writes are Store.
-pub fn merge_to_list(ctx: &mut ExecCtx<'_>, groups: Vec<Vec<IdSource>>) -> Result<IdList> {
+pub fn merge_to_list(ctx: &mut ExecCtx<'_, '_>, groups: Vec<Vec<IdSource>>) -> Result<IdList> {
     let max_ids: u64 = groups
         .iter()
         .map(|g| g.iter().map(|s| s.count()).sum::<u64>())
@@ -133,21 +160,14 @@ pub fn merge_to_list(ctx: &mut ExecCtx<'_>, groups: Vec<Vec<IdSource>>) -> Resul
     let mut stream = open_merge(ctx, groups, 1)?;
     let page_size = ctx.page_size();
     let ram = ctx.ram();
-    let mut writer = IdListWriter::create(ctx.alloc, &ram, max_ids, page_size)?;
+    let mut writer = IdListWriter::create(ctx.lane.alloc(), &ram, max_ids, page_size)?;
     ctx.add_temp(writer.segment());
     loop {
         let id = stream.next(ctx)?;
         let Some(id) = id else { break };
-        let snap = ctx.token.flash.snapshot();
-        writer.push(&mut ctx.token.flash, id)?;
-        let d = ctx.token.flash.elapsed_since(&snap);
-        ctx.report.add(OpKind::Store, d);
+        ctx.tracked(OpKind::Store, |dev| writer.push(dev, id))?;
     }
-    let snap = ctx.token.flash.snapshot();
-    let list = writer.finish(&mut ctx.token.flash)?;
-    let d = ctx.token.flash.elapsed_since(&snap);
-    ctx.report.add(OpKind::Store, d);
-    Ok(list)
+    ctx.tracked(OpKind::Store, |dev| Ok(writer.finish(dev)?))
 }
 
 /// Merge straight into a host vector (used when the next consumer is a
@@ -159,12 +179,12 @@ pub fn merge_to_list(ctx: &mut ExecCtx<'_>, groups: Vec<Vec<IdSource>>) -> Resul
 /// same (zero) simulated cost, far fewer host cycles. `Range` sources stay
 /// on the streaming path: it walks them in O(1) memory, while the set
 /// operations would materialise them.
-pub fn merge_to_vec(ctx: &mut ExecCtx<'_>, groups: Vec<Vec<IdSource>>) -> Result<Vec<Id>> {
+pub fn merge_to_vec(ctx: &mut ExecCtx<'_, '_>, groups: Vec<Vec<IdSource>>) -> Result<Vec<Id>> {
     if groups
         .iter()
         .all(|g| g.iter().all(|s| matches!(s, IdSource::Host(_))))
     {
-        return Ok(merge_host_groups(&groups));
+        return merge_host_groups(&groups, ctx.intra);
     }
     merge_to_vec_streaming(ctx, groups)
 }
@@ -173,7 +193,7 @@ pub fn merge_to_vec(ctx: &mut ExecCtx<'_>, groups: Vec<Vec<IdSource>>) -> Result
 /// I/O for flash sources). Public within the crate so equivalence tests
 /// and `perfbench` can pit the host fast path against it.
 pub fn merge_to_vec_streaming(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, '_>,
     groups: Vec<Vec<IdSource>>,
 ) -> Result<Vec<Id>> {
     let mut stream = open_merge(ctx, groups, 0)?;
@@ -184,50 +204,76 @@ pub fn merge_to_vec_streaming(
     Ok(out)
 }
 
+/// Host ids below this total are unioned on the calling thread: the spawn
+/// cost of a worker pool dwarfs the merge itself.
+const HOST_FAN_OUT_MIN_IDS: u64 = 16_384;
+
 /// `∩i{∪j{...}}` over host-resident sources: per-group sorted unions, then
 /// galloping intersection across groups, smallest group first so the driver
 /// side of every intersection stays minimal.
-fn merge_host_groups(groups: &[Vec<IdSource>]) -> Vec<Id> {
+///
+/// The per-group unions — the inputs to the k-way intersection — are
+/// independent pure-CPU jobs, so with `intra > 1` and enough ids they fan
+/// across worker threads via [`crate::parallel::fan_out`]. The unions touch
+/// neither flash nor RAM arena, so results and (zero) simulated cost are
+/// trivially identical to the serial loop.
+fn merge_host_groups(groups: &[Vec<IdSource>], intra: usize) -> Result<Vec<Id>> {
+    let total_ids: u64 = groups
+        .iter()
+        .flat_map(|g| g.iter())
+        .map(|s| s.count())
+        .sum();
+    let mut unions: Vec<Vec<Id>> =
+        if intra > 1 && groups.len() > 1 && total_ids >= HOST_FAN_OUT_MIN_IDS {
+            crate::parallel::fan_out(
+                groups.len(),
+                intra,
+                || Ok(()),
+                |_, i| Ok(union_host_group(&groups[i])),
+            )?
+        } else {
+            groups.iter().map(|g| union_host_group(g)).collect()
+        };
+    unions.sort_by_key(|u| u.len());
+    let mut iter = unions.into_iter();
+    let Some(mut acc) = iter.next() else {
+        return Ok(Vec::new());
+    };
+    for u in iter {
+        if acc.is_empty() {
+            return Ok(acc);
+        }
+        acc = intersect_sorted(&acc, &u);
+    }
+    Ok(acc)
+}
+
+/// Sorted, duplicate-free union of one host-only group.
+fn union_host_group(g: &[IdSource]) -> Vec<Id> {
     let host = |s: &IdSource| -> crate::source::SharedIds {
         match s {
             IdSource::Host(v) => v.clone(),
             _ => unreachable!("host fast path"),
         }
     };
-    let mut unions: Vec<Vec<Id>> = groups
-        .iter()
-        .map(|g| match g.len() {
-            0 => Vec::new(),
-            // union_sorted against the empty list collapses duplicates
-            // inside the single source, matching the stream.
-            1 => union_sorted(&host(&g[0]), &[]),
-            2 => union_sorted(&host(&g[0]), &host(&g[1])),
-            // Wider groups: one concat + sort + dedup instead of repeated
-            // pairwise unions re-copying the accumulator per source.
-            _ => {
-                let mut all: Vec<Id> =
-                    Vec::with_capacity(g.iter().map(|s| s.count() as usize).sum());
-                for s in g {
-                    all.extend_from_slice(&host(s));
-                }
-                all.sort_unstable();
-                all.dedup();
-                all
+    match g.len() {
+        0 => Vec::new(),
+        // union_sorted against the empty list collapses duplicates
+        // inside the single source, matching the stream.
+        1 => union_sorted(&host(&g[0]), &[]),
+        2 => union_sorted(&host(&g[0]), &host(&g[1])),
+        // Wider groups: one concat + sort + dedup instead of repeated
+        // pairwise unions re-copying the accumulator per source.
+        _ => {
+            let mut all: Vec<Id> = Vec::with_capacity(g.iter().map(|s| s.count() as usize).sum());
+            for s in g {
+                all.extend_from_slice(&host(s));
             }
-        })
-        .collect();
-    unions.sort_by_key(|u| u.len());
-    let mut iter = unions.into_iter();
-    let Some(mut acc) = iter.next() else {
-        return Vec::new();
-    };
-    for u in iter {
-        if acc.is_empty() {
-            return acc;
+            all.sort_unstable();
+            all.dedup();
+            all
         }
-        acc = intersect_sorted(&acc, &u);
     }
-    acc
 }
 
 #[cfg(test)]
@@ -262,6 +308,99 @@ mod tests {
             assert_eq!(fast, streamed);
             assert!(!fast.is_empty());
         }
+    }
+
+    #[test]
+    fn host_fast_path_is_thread_count_invariant() {
+        // The fanned per-group unions must return exactly the serial ids.
+        let groups = || -> Vec<Vec<IdSource>> {
+            vec![
+                vec![
+                    IdSource::Host(Arc::new((0..20_000).map(|i| i * 2).collect())),
+                    IdSource::Host(Arc::new((0..5_000).map(|i| i * 7).collect())),
+                ],
+                vec![IdSource::Host(Arc::new((0..30_000).collect()))],
+                vec![IdSource::Host(Arc::new(
+                    (0..15_000).map(|i| i * 3).collect(),
+                ))],
+            ]
+        };
+        let serial = merge_host_groups(&groups(), 1).unwrap();
+        assert!(!serial.is_empty());
+        for intra in [2usize, 4, 8] {
+            assert_eq!(merge_host_groups(&groups(), intra).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn spill_policies_pick_progressable_groups() {
+        // Host-only groups have no flash sublists: nothing to spill.
+        let groups = vec![vec![IdSource::Host(Arc::new(vec![1, 2, 3]))]];
+        assert_eq!(pick_spill_group(&groups, SpillPolicy::WidestSmallest), None);
+        assert_eq!(
+            pick_spill_group(&groups, SpillPolicy::GlobalSmallestK),
+            None
+        );
+    }
+
+    #[test]
+    fn spill_policy_group_choice_differs() {
+        let mut db = testkit::tiny_db();
+        let mut ctx = crate::ExecCtx::new(&mut db);
+        let ram = ctx.ram();
+        let page_size = ctx.page_size();
+        // Build flash lists: group 0 = two big lists, group 1 = three tiny.
+        let mk = |ctx: &mut crate::ExecCtx<'_, '_>, ids: &[Id]| -> IdSource {
+            let mut w =
+                IdListWriter::create(ctx.lane.alloc(), &ram, ids.len() as u64, page_size).unwrap();
+            ctx.add_temp(w.segment());
+            let list = ctx.lane.with_flash(|dev| {
+                for id in ids {
+                    w.push(dev, *id).unwrap();
+                }
+                w.finish(dev).unwrap()
+            });
+            IdSource::Flash(list)
+        };
+        let big: Vec<Id> = (0..2000).collect();
+        let tiny: Vec<Id> = vec![1, 2, 3];
+        let groups = vec![
+            vec![mk(&mut ctx, &big), mk(&mut ctx, &big)],
+            vec![
+                mk(&mut ctx, &tiny),
+                mk(&mut ctx, &tiny),
+                mk(&mut ctx, &tiny),
+            ],
+        ];
+        // Widest spills the 3-sublist group; global-smallest-k spills the
+        // group holding the smallest sublist — here the same group, so
+        // distinguish by count: group 1 has the smallest lists AND most
+        // sublists. Make group 0 wider instead.
+        assert_eq!(
+            pick_spill_group(&groups, SpillPolicy::WidestSmallest),
+            Some(1)
+        );
+        assert_eq!(
+            pick_spill_group(&groups, SpillPolicy::GlobalSmallestK),
+            Some(1)
+        );
+        let groups2 = vec![
+            vec![
+                groups[0][0].clone(),
+                groups[0][1].clone(),
+                groups[0][0].clone(),
+            ],
+            vec![groups[1][0].clone(), groups[1][1].clone()],
+        ];
+        assert_eq!(
+            pick_spill_group(&groups2, SpillPolicy::WidestSmallest),
+            Some(0)
+        );
+        assert_eq!(
+            pick_spill_group(&groups2, SpillPolicy::GlobalSmallestK),
+            Some(1)
+        );
+        ctx.free_temps().unwrap();
     }
 
     #[test]

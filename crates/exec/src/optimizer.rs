@@ -26,14 +26,14 @@ pub const CROSS_PRE_POST_CUTOFF: f64 = 0.1;
 pub const PRE_POST_CUTOFF: f64 = 0.05;
 
 /// Decide a strategy for every table carrying visible predicates.
-pub fn decide(ctx: &ExecCtx<'_>, a: &Analyzed) -> Result<Vec<VisDecision>> {
+pub fn decide(ctx: &ExecCtx<'_, '_>, a: &Analyzed) -> Result<Vec<VisDecision>> {
     let mut out = Vec::new();
     for (t, preds) in &a.vis_preds {
-        let rows = ctx.rows[*t].max(1);
-        let matching = ctx.untrusted.store().count(*t, preds)?;
+        let rows = ctx.cat.rows[*t].max(1);
+        let matching = ctx.cat.untrusted.store().count(*t, preds)?;
         let sv = matching as f64 / rows as f64;
         let cross_applicable =
-            *t != ctx.schema.root() && !a.hidden_in_subtree(ctx.schema, *t).is_empty();
+            *t != ctx.cat.schema.root() && !a.hidden_in_subtree(ctx.cat.schema, *t).is_empty();
         let strategy = if cross_applicable {
             if sv <= CROSS_PRE_POST_CUTOFF {
                 VisStrategy::CrossPre

@@ -48,6 +48,13 @@ const _: () = {
     send_sync::<ResultSet>();
     send_sync::<ExecReport>();
     send_sync::<ExecError>();
+    // The execution-context lanes: an `Rc` (or any non-Send state) slipping
+    // into the catalog, cost, or device lane breaks intra-query fan-out at
+    // compile time, right here.
+    send_sync::<crate::ctx::CatalogCtx<'static>>();
+    send_sync::<crate::ctx::CostScope>();
+    send_sync::<crate::ctx::SharedFlash<'static>>();
+    send::<crate::ctx::DeviceLane<'static, 'static>>();
 };
 
 /// Run `jobs` work items over `threads` scoped workers, each with private

@@ -10,6 +10,13 @@
 //! final position-merge join drop every row a table failed to confirm —
 //! which simultaneously kills Bloom false positives and deferred visible
 //! selections, and runs the exact re-checks for non-injective index keys.
+//!
+//! The per-table σVH + MJoin passes are independent of each other (each
+//! touches only its own id column, its own hidden columns and its own
+//! shipments), which is why they are the projection's intra-query fan-out
+//! point: every shipment is prefetched on the root lane (the channel's cost
+//! model is a byte sum, so hoisting changes nothing), then each table runs
+//! on its own [`crate::ctx::DeviceLane`] via [`ExecCtx::run_lanes`].
 
 use crate::ctx::ExecCtx;
 use crate::error::ExecError;
@@ -78,14 +85,26 @@ impl ProjTable {
     }
 }
 
+/// Everything one table's σVH + MJoin pass needs, prefetched on the root
+/// lane so worker lanes never touch the channel.
+struct TablePrep<'q> {
+    tproj: &'q TableProjection,
+    rechecks: Vec<&'q Predicate>,
+    /// Ids satisfying the table's visible predicates (`None` when the table
+    /// has no visible side at all → dense range).
+    sigma_ids: Option<SharedIds>,
+    /// Visible values for MJoin (second shipment, values included).
+    vis_values: Option<ghostdb_untrusted::VisShipment>,
+}
+
 /// Execute projection and deliver the final result set.
 pub fn execute(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, '_>,
     a: &Analyzed,
     sj: SjOutcome,
     algo: ProjectAlgo,
 ) -> Result<ResultSet> {
-    let root = ctx.schema.root();
+    let root = ctx.cat.schema.root();
 
     // Participation set: tables with projections, pending visible
     // filtering, or exact re-checks.
@@ -113,10 +132,13 @@ pub fn execute(
         return brute_force(ctx, a, &sj, root_col, &participants, &id_cols);
     }
 
-    // Steps 2–3 per participating table.
+    // Prefetch phase (root lane): every channel shipment the per-table
+    // passes will need, in table order. The channel charges a byte sum, so
+    // hoisting the shipments out of the per-table loop leaves `comm` and
+    // `bytes_to_secure` exactly as the interleaved serial order did.
     let empty = TableProjection::default();
-    let mut proj_tables: Vec<(TableId, ProjTable)> = Vec::new();
-    for (i, t) in participants.iter().enumerate() {
+    let mut preps: Vec<TablePrep<'_>> = Vec::with_capacity(participants.len());
+    for t in &participants {
         let tproj = a
             .projections
             .iter()
@@ -131,52 +153,52 @@ pub fn execute(
             .collect();
         let vis_preds = a.vis_preds_of(*t);
         let has_vis_side = !vis_preds.is_empty() || !tproj.vis.is_empty();
-
-        // σVH: the visible ids filtered against this table's QEPSJ column.
-        let sigma: IdSource = if has_vis_side {
-            let shipment = ctx.untrusted.vis(
-                &mut ctx.token.channel,
-                *t,
-                &ctx.schema.def(*t).name,
-                vis_preds,
-                &[],
-            )?;
-            let vis_ids = Arc::new(shipment.ids);
-            match algo {
-                ProjectAlgo::Project => sigma_vh(ctx, &id_cols[i], &vis_ids)?,
-                _ => IdSource::Host(vis_ids),
-            }
+        let sigma_ids: Option<SharedIds> = if has_vis_side {
+            Some(Arc::new(ctx.vis(*t, vis_preds, &[])?.ids))
         } else {
-            IdSource::Range {
-                start: 0,
-                end: ctx.rows[*t] as Id,
-            }
+            None
         };
-
-        // Visible values for MJoin (second shipment, values included).
         let vis_values = if tproj.vis.is_empty() {
             None
         } else {
-            Some(ctx.untrusted.vis(
-                &mut ctx.token.channel,
-                *t,
-                &ctx.schema.def(*t).name,
-                vis_preds,
-                &tproj.vis,
-            )?)
+            Some(ctx.vis(*t, vis_preds, &tproj.vis)?)
         };
-
-        let out = mjoin(
-            ctx,
-            *t,
+        preps.push(TablePrep {
             tproj,
-            &rechecks,
+            rechecks,
+            sigma_ids,
+            vis_values,
+        });
+    }
+
+    // Steps 2–3, one job per participating table, fanned across lanes when
+    // `--intra-threads` allows. Results land in table order either way, and
+    // per-operator attribution merges back bit-identically to serial.
+    let outs: Vec<ProjTable> = ctx.run_lanes(participants.len(), |ctx, i| {
+        let t = participants[i];
+        let prep = &preps[i];
+        // σVH: the visible ids filtered against this table's QEPSJ column.
+        let sigma: IdSource = match &prep.sigma_ids {
+            Some(ids) => match algo {
+                ProjectAlgo::Project => sigma_vh(ctx, &id_cols[i], ids)?,
+                _ => IdSource::Host(ids.clone()),
+            },
+            None => IdSource::Range {
+                start: 0,
+                end: ctx.cat.rows[t] as Id,
+            },
+        };
+        mjoin(
+            ctx,
+            t,
+            prep.tproj,
+            &prep.rechecks,
             &id_cols[i],
             sigma,
-            vis_values.as_ref(),
-        )?;
-        proj_tables.push((*t, out));
-    }
+            prep.vis_values.as_ref(),
+        )
+    })?;
+    let proj_tables: Vec<(TableId, ProjTable)> = participants.iter().copied().zip(outs).collect();
 
     // Step 4: the final position-merge join.
     final_join(ctx, a, &sj, root_col, proj_tables)
@@ -185,25 +207,25 @@ pub fn execute(
 /// Figure 5, line 1: vertically partition the QEPSJ result into one ID
 /// column per participating table (plus the root column), in root order.
 fn partition(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, '_>,
     root_ids: &RootIds,
     tables: &[TableId],
 ) -> Result<(FlashTable, Vec<FlashTable>)> {
-    let root = ctx.schema.root();
+    let root = ctx.cat.schema.root();
     let layout = RowLayout::ids(1);
     let ram = ctx.ram();
     let page_size = ctx.page_size();
     let upper = match root_ids {
-        RootIds::All => ctx.rows[root],
+        RootIds::All => ctx.cat.rows[root],
         RootIds::List(l) => l.count,
         RootIds::Table(t) => t.table.rows(),
     };
     let mut root_writer =
-        FlashTableWriter::create(ctx.alloc, &ram, layout.clone(), upper, page_size)?;
+        FlashTableWriter::create(ctx.lane.alloc(), &ram, layout.clone(), upper, page_size)?;
     let mut writers: Vec<FlashTableWriter> = tables
         .iter()
         .map(|_| {
-            FlashTableWriter::create(ctx.alloc, &ram, layout.clone(), upper, page_size)
+            FlashTableWriter::create(ctx.lane.alloc(), &ram, layout.clone(), upper, page_size)
                 .map_err(crate::error::ExecError::from)
         })
         .collect::<Result<_>>()?;
@@ -218,17 +240,19 @@ fn partition(
                 .collect();
             let mut reader = f.table.reader(&ram, page_size)?;
             ctx.track_rw(OpKind::Partition, OpKind::Partition, |ctx| {
-                let mut cell = vec![0u8; 4];
-                while let Some(row) = reader.next_row(&mut ctx.token.flash)? {
-                    let row = row.to_vec();
-                    cell.copy_from_slice(&row[..4]);
-                    root_writer.push(&mut ctx.token.flash, &cell)?;
-                    for (w, c) in writers.iter_mut().zip(&cols) {
-                        cell.copy_from_slice(&row[c * 4..c * 4 + 4]);
-                        w.push(&mut ctx.token.flash, &cell)?;
+                ctx.lane.with_flash(|dev| {
+                    let mut cell = vec![0u8; 4];
+                    while let Some(row) = reader.next_row(dev)? {
+                        let row = row.to_vec();
+                        cell.copy_from_slice(&row[..4]);
+                        root_writer.push(dev, &cell)?;
+                        for (w, c) in writers.iter_mut().zip(&cols) {
+                            cell.copy_from_slice(&row[c * 4..c * 4 + 4]);
+                            w.push(dev, &cell)?;
+                        }
                     }
-                }
-                Ok(())
+                    Ok(())
+                })
             })?;
         }
         RootIds::List(list) => {
@@ -238,10 +262,12 @@ fn partition(
             let mut feed = IdListReader::open(*list, &ram, page_size)?;
             if tables.is_empty() {
                 ctx.track_rw(OpKind::SJoin, OpKind::Store, |ctx| {
-                    while let Some(id) = feed.next_id(&mut ctx.token.flash)? {
-                        root_writer.push(&mut ctx.token.flash, &id.to_le_bytes())?;
-                    }
-                    Ok(())
+                    ctx.lane.with_flash(|dev| {
+                        while let Some(id) = feed.next_id(dev)? {
+                            root_writer.push(dev, &id.to_le_bytes())?;
+                        }
+                        Ok(())
+                    })
                 })?;
             } else {
                 let skt = ctx.skt(root)?;
@@ -249,34 +275,29 @@ fn partition(
                     ctx,
                     skt,
                     tables,
-                    |ctx| {
-                        let snap = ctx.token.flash.snapshot();
-                        let id = feed.next_id(&mut ctx.token.flash)?;
-                        let d = ctx.token.flash.elapsed_since(&snap);
-                        ctx.report.add(OpKind::SJoin, d);
-                        Ok(id)
-                    },
+                    |ctx| ctx.tracked(OpKind::SJoin, |dev| Ok(feed.next_id(dev)?)),
                     |ctx, id, targets| {
-                        let snap = ctx.token.flash.snapshot();
-                        root_writer.push(&mut ctx.token.flash, &id.to_le_bytes())?;
-                        for (w, tid) in writers.iter_mut().zip(targets) {
-                            w.push(&mut ctx.token.flash, &tid.to_le_bytes())?;
-                        }
-                        let d = ctx.token.flash.elapsed_since(&snap);
-                        ctx.report.add(OpKind::Store, d);
-                        Ok(())
+                        ctx.tracked(OpKind::Store, |dev| {
+                            root_writer.push(dev, &id.to_le_bytes())?;
+                            for (w, tid) in writers.iter_mut().zip(targets) {
+                                w.push(dev, &tid.to_le_bytes())?;
+                            }
+                            Ok(())
+                        })
                     },
                 )?;
             }
         }
         RootIds::All => {
-            let rows = ctx.rows[root];
+            let rows = ctx.cat.rows[root];
             if tables.is_empty() {
                 ctx.track_rw(OpKind::SJoin, OpKind::Store, |ctx| {
-                    for id in 0..rows {
-                        root_writer.push(&mut ctx.token.flash, &(id as Id).to_le_bytes())?;
-                    }
-                    Ok(())
+                    ctx.lane.with_flash(|dev| {
+                        for id in 0..rows {
+                            root_writer.push(dev, &(id as Id).to_le_bytes())?;
+                        }
+                        Ok(())
+                    })
                 })?;
             } else {
                 let skt = ctx.skt(root)?;
@@ -295,25 +316,24 @@ fn partition(
                         }
                     },
                     |ctx, id, targets| {
-                        let snap = ctx.token.flash.snapshot();
-                        root_writer.push(&mut ctx.token.flash, &id.to_le_bytes())?;
-                        for (w, tid) in writers.iter_mut().zip(targets) {
-                            w.push(&mut ctx.token.flash, &tid.to_le_bytes())?;
-                        }
-                        let d = ctx.token.flash.elapsed_since(&snap);
-                        ctx.report.add(OpKind::Store, d);
-                        Ok(())
+                        ctx.tracked(OpKind::Store, |dev| {
+                            root_writer.push(dev, &id.to_le_bytes())?;
+                            for (w, tid) in writers.iter_mut().zip(targets) {
+                                w.push(dev, &tid.to_le_bytes())?;
+                            }
+                            Ok(())
+                        })
                     },
                 )?;
             }
         }
     }
 
-    let root_col = root_writer.finish(&mut ctx.token.flash)?;
+    let root_col = ctx.lane.with_flash(|dev| root_writer.finish(dev))?;
     ctx.add_temp(root_col.segment());
     let mut id_cols = Vec::with_capacity(writers.len());
     for w in writers {
-        let t = w.finish(&mut ctx.token.flash)?;
+        let t = ctx.lane.with_flash(|dev| w.finish(dev))?;
         ctx.add_temp(t.segment());
         id_cols.push(t);
     }
@@ -323,7 +343,11 @@ fn partition(
 /// Figure 5, lines 3–4: Bloom over the table's QEPSJ id column, probed with
 /// the visible ids → σVH. "The Bloom filter is calibrated by default to
 /// occupy the entire RAM" (§5) minus the scan buffers.
-fn sigma_vh(ctx: &mut ExecCtx<'_>, id_col: &FlashTable, vis_ids: &SharedIds) -> Result<IdSource> {
+fn sigma_vh(
+    ctx: &mut ExecCtx<'_, '_>,
+    id_col: &FlashTable,
+    vis_ids: &SharedIds,
+) -> Result<IdSource> {
     let n = id_col.rows();
     let budget = ctx.ram().available().saturating_sub(3) * ctx.ram().buf_size();
     let Some(cal) = calibrate(n, budget) else {
@@ -337,11 +361,13 @@ fn sigma_vh(ctx: &mut ExecCtx<'_>, id_col: &FlashTable, vis_ids: &SharedIds) -> 
     let page_size = ctx.page_size();
     let mut reader = id_col.reader(&ram, page_size)?;
     ctx.track(OpKind::ProjBloom, |ctx| {
-        while let Some(row) = reader.next_row(&mut ctx.token.flash)? {
-            let id = u32::from_le_bytes(row[..4].try_into().expect("id cell"));
-            bf.insert(id as u64);
-        }
-        Ok(())
+        ctx.lane.with_flash(|dev| {
+            while let Some(row) = reader.next_row(dev)? {
+                let id = u32::from_le_bytes(row[..4].try_into().expect("id cell"));
+                bf.insert(id as u64);
+            }
+            Ok(())
+        })
     })?;
     let filtered: Vec<Id> = vis_ids
         .iter()
@@ -355,7 +381,7 @@ fn sigma_vh(ctx: &mut ExecCtx<'_>, id_col: &FlashTable, vis_ids: &SharedIds) -> 
 /// into complete tuples held in RAM (capacity minus the scan buffers), then
 /// sweep the table's id column once per RAM-load emitting `<pos, tuple>`.
 fn mjoin(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, '_>,
     t: TableId,
     tproj: &TableProjection,
     rechecks: &[&Predicate],
@@ -363,7 +389,7 @@ fn mjoin(
     sigma: IdSource,
     vis_values: Option<&ghostdb_untrusted::VisShipment>,
 ) -> Result<ProjTable> {
-    let def = ctx.schema.def(t);
+    let def = ctx.cat.schema.def(t);
     let vis: Vec<(String, ColumnType)> = tproj
         .vis
         .iter()
@@ -378,7 +404,7 @@ fn mjoin(
     let entry_bytes = layout.size() - 4; // dict entries exclude pos
 
     // Hidden column scans: projected hidden columns + re-check columns.
-    let image = &ctx.hidden[t];
+    let image = &ctx.cat.hidden[t];
     let ram = ctx.ram();
     let page_size = ctx.page_size();
     let mut hid_scans: Vec<ColumnScan> = hid
@@ -421,45 +447,47 @@ fn mjoin(
         // Fill the dict with the next RAM-load of σVH entries.
         let mut dict: HashMap<Id, Vec<u8>> = HashMap::new();
         ctx.track(OpKind::MJoin, |ctx| {
-            while dict.len() < dict_capacity {
-                let Some(id) = sigma_reader.next(&mut ctx.token.flash)? else {
-                    exhausted = true;
-                    break;
-                };
-                // Re-checks: exact hidden predicate evaluation.
-                let mut keep = true;
-                for (scan, pred) in recheck_scans.iter_mut() {
-                    let v = scan.value_at(&mut ctx.token.flash, id)?;
-                    if !pred.matches(&v) {
-                        keep = false;
-                    }
-                }
-                if !keep {
-                    continue;
-                }
-                let mut entry = vec![0u8; entry_bytes];
-                entry[..4].copy_from_slice(&id.to_le_bytes());
-                let mut at = 4usize;
-                if let (Some(map), Some(shipment)) = (&vis_map, vis_values) {
-                    let idx = match map.get(&id) {
-                        Some(i) => *i,
-                        None => continue, // not visible-selected
+            ctx.lane.with_flash(|dev| {
+                while dict.len() < dict_capacity {
+                    let Some(id) = sigma_reader.next(dev)? else {
+                        exhausted = true;
+                        break;
                     };
-                    for (c, (_, ty)) in vis.iter().enumerate() {
+                    // Re-checks: exact hidden predicate evaluation.
+                    let mut keep = true;
+                    for (scan, pred) in recheck_scans.iter_mut() {
+                        let v = scan.value_at(dev, id)?;
+                        if !pred.matches(&v) {
+                            keep = false;
+                        }
+                    }
+                    if !keep {
+                        continue;
+                    }
+                    let mut entry = vec![0u8; entry_bytes];
+                    entry[..4].copy_from_slice(&id.to_le_bytes());
+                    let mut at = 4usize;
+                    if let (Some(map), Some(shipment)) = (&vis_map, vis_values) {
+                        let idx = match map.get(&id) {
+                            Some(i) => *i,
+                            None => continue, // not visible-selected
+                        };
+                        for (c, (_, ty)) in vis.iter().enumerate() {
+                            let w = ty.width();
+                            shipment.columns[c].1[idx].encode(ty, &mut entry[at..at + w])?;
+                            at += w;
+                        }
+                    }
+                    for (scan, (_, ty)) in hid_scans.iter_mut().zip(&hid) {
+                        let v = scan.value_at(dev, id)?;
                         let w = ty.width();
-                        shipment.columns[c].1[idx].encode(ty, &mut entry[at..at + w])?;
+                        v.encode(ty, &mut entry[at..at + w])?;
                         at += w;
                     }
+                    dict.insert(id, entry);
                 }
-                for (scan, (_, ty)) in hid_scans.iter_mut().zip(&hid) {
-                    let v = scan.value_at(&mut ctx.token.flash, id)?;
-                    let w = ty.width();
-                    v.encode(ty, &mut entry[at..at + w])?;
-                    at += w;
-                }
-                dict.insert(id, entry);
-            }
-            Ok(())
+                Ok(())
+            })
         })?;
         if dict.is_empty() {
             if exhausted && !runs.is_empty() {
@@ -472,23 +500,30 @@ fn mjoin(
         }
         // Sweep the id column, emitting <pos, entry> for dict hits.
         let mut col_reader = id_col.reader(&ram, page_size)?;
-        let mut writer =
-            FlashTableWriter::create(ctx.alloc, &ram, layout.clone(), id_col.rows(), page_size)?;
+        let mut writer = FlashTableWriter::create(
+            ctx.lane.alloc(),
+            &ram,
+            layout.clone(),
+            id_col.rows(),
+            page_size,
+        )?;
         ctx.track(OpKind::MJoin, |ctx| {
-            let mut pos = 0u32;
-            let mut row = vec![0u8; layout.size()];
-            while let Some(cell) = col_reader.next_row(&mut ctx.token.flash)? {
-                let id = u32::from_le_bytes(cell[..4].try_into().expect("id cell"));
-                if let Some(entry) = dict.get(&id) {
-                    row[..4].copy_from_slice(&pos.to_le_bytes());
-                    row[4..].copy_from_slice(entry);
-                    writer.push(&mut ctx.token.flash, &row)?;
+            ctx.lane.with_flash(|dev| {
+                let mut pos = 0u32;
+                let mut row = vec![0u8; layout.size()];
+                while let Some(cell) = col_reader.next_row(dev)? {
+                    let id = u32::from_le_bytes(cell[..4].try_into().expect("id cell"));
+                    if let Some(entry) = dict.get(&id) {
+                        row[..4].copy_from_slice(&pos.to_le_bytes());
+                        row[4..].copy_from_slice(entry);
+                        writer.push(dev, &row)?;
+                    }
+                    pos += 1;
                 }
-                pos += 1;
-            }
-            Ok(())
+                Ok(())
+            })
         })?;
-        let run = writer.finish(&mut ctx.token.flash)?;
+        let run = ctx.lane.with_flash(|dev| writer.finish(dev))?;
         ctx.add_temp(run.segment());
         runs.push(run);
     }
@@ -501,8 +536,9 @@ fn mjoin(
     drop(recheck_scans);
     let table = match runs.len() {
         0 => {
-            let empty =
-                FlashTable::bulk_load_with(&mut ctx.token.flash, ctx.alloc, layout, 0, |_, _| {})?;
+            let empty = ctx.lane.with_flash_alloc(|dev, alloc| {
+                FlashTable::bulk_load_with(dev, alloc, layout, 0, |_, _| {})
+            })?;
             ctx.add_temp(empty.segment());
             empty
         }
@@ -514,7 +550,7 @@ fn mjoin(
 
 /// K-way merge of MJoin runs by their `pos` field (field 0), batched so
 /// each merge level holds at most `available - 1` run readers.
-fn merge_runs_by_pos(ctx: &mut ExecCtx<'_>, mut runs: Vec<FlashTable>) -> Result<FlashTable> {
+fn merge_runs_by_pos(ctx: &mut ExecCtx<'_, '_>, mut runs: Vec<FlashTable>) -> Result<FlashTable> {
     loop {
         let fan_in = ctx.ram().available().saturating_sub(1).max(2);
         if runs.len() <= fan_in {
@@ -527,7 +563,7 @@ fn merge_runs_by_pos(ctx: &mut ExecCtx<'_>, mut runs: Vec<FlashTable>) -> Result
 }
 
 /// One merge level over at most `available - 1` runs.
-fn merge_runs_level(ctx: &mut ExecCtx<'_>, runs: Vec<FlashTable>) -> Result<FlashTable> {
+fn merge_runs_level(ctx: &mut ExecCtx<'_, '_>, runs: Vec<FlashTable>) -> Result<FlashTable> {
     let layout = runs[0].layout.clone();
     let total: u64 = runs.iter().map(|r| r.rows()).sum();
     let ram = ctx.ram();
@@ -539,36 +575,37 @@ fn merge_runs_level(ctx: &mut ExecCtx<'_>, runs: Vec<FlashTable>) -> Result<Flas
                 .map_err(crate::error::ExecError::from)
         })
         .collect::<Result<Vec<_>>>()?;
-    let mut writer = FlashTableWriter::create(ctx.alloc, &ram, layout.clone(), total, page_size)?;
+    let mut writer =
+        FlashTableWriter::create(ctx.lane.alloc(), &ram, layout.clone(), total, page_size)?;
     ctx.track(OpKind::MJoin, |ctx| {
-        let mut heads: Vec<Option<Vec<u8>>> = Vec::new();
-        for r in readers.iter_mut() {
-            heads.push(r.next_row(&mut ctx.token.flash)?.map(|x| x.to_vec()));
-        }
-        loop {
-            let mut best: Option<usize> = None;
-            for (i, h) in heads.iter().enumerate() {
-                if let Some(row) = h {
-                    let pos = layout.get_id(row, 0);
-                    let better = match best {
-                        None => true,
-                        Some(b) => pos < layout.get_id(heads[b].as_ref().expect("head"), 0),
-                    };
-                    if better {
-                        best = Some(i);
+        ctx.lane.with_flash(|dev| {
+            let mut heads: Vec<Option<Vec<u8>>> = Vec::new();
+            for r in readers.iter_mut() {
+                heads.push(r.next_row(dev)?.map(|x| x.to_vec()));
+            }
+            loop {
+                let mut best: Option<usize> = None;
+                for (i, h) in heads.iter().enumerate() {
+                    if let Some(row) = h {
+                        let pos = layout.get_id(row, 0);
+                        let better = match best {
+                            None => true,
+                            Some(b) => pos < layout.get_id(heads[b].as_ref().expect("head"), 0),
+                        };
+                        if better {
+                            best = Some(i);
+                        }
                     }
                 }
+                let Some(b) = best else { break };
+                let row = heads[b].take().expect("best");
+                writer.push(dev, &row)?;
+                heads[b] = readers[b].next_row(dev)?.map(|x| x.to_vec());
             }
-            let Some(b) = best else { break };
-            let row = heads[b].take().expect("best");
-            writer.push(&mut ctx.token.flash, &row)?;
-            heads[b] = readers[b]
-                .next_row(&mut ctx.token.flash)?
-                .map(|x| x.to_vec());
-        }
-        Ok(())
+            Ok(())
+        })
     })?;
-    let out = writer.finish(&mut ctx.token.flash)?;
+    let out = ctx.lane.with_flash(|dev| writer.finish(dev))?;
     ctx.add_temp(out.segment());
     Ok(out)
 }
@@ -577,13 +614,13 @@ fn merge_runs_level(ctx: &mut ExecCtx<'_>, runs: Vec<FlashTable>) -> Result<Flas
 /// streams) in position order; a row survives only if every participating
 /// table confirmed its position.
 fn final_join(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, '_>,
     a: &Analyzed,
     sj: &SjOutcome,
     root_col: FlashTable,
     proj_tables: Vec<(TableId, ProjTable)>,
 ) -> Result<ResultSet> {
-    let root = ctx.schema.root();
+    let root = ctx.cat.schema.root();
     let ram = ctx.ram();
     let page_size = ctx.page_size();
 
@@ -598,13 +635,7 @@ fn final_join(
     let root_vis_preds = a.vis_preds_of(root);
     let root_filter_pending = sj.approx_vis.contains(&root) || sj.deferred_vis.contains(&root);
     let root_shipment = if !root_proj.vis.is_empty() || root_filter_pending {
-        Some(ctx.untrusted.vis(
-            &mut ctx.token.channel,
-            root,
-            &ctx.schema.def(root).name,
-            root_vis_preds,
-            &root_proj.vis,
-        )?)
+        Some(ctx.vis(root, root_vis_preds, &root_proj.vis)?)
     } else {
         None
     };
@@ -612,7 +643,7 @@ fn final_join(
         .as_ref()
         .map(|s| s.ids.iter().enumerate().map(|(i, id)| (*id, i)).collect());
 
-    let image = &ctx.hidden[root];
+    let image = &ctx.cat.hidden[root];
     let mut root_hid_scans: Vec<(String, ColumnScan)> = root_proj
         .hid
         .iter()
@@ -638,107 +669,109 @@ fn final_join(
     let columns: Vec<String> = a
         .output
         .iter()
-        .map(|(t, c)| format!("{}.{}", ctx.schema.def(*t).name, c))
+        .map(|(t, c)| format!("{}.{}", ctx.cat.schema.def(*t).name, c))
         .collect();
     let mut rows: Vec<Vec<Value>> = Vec::new();
 
     ctx.track(OpKind::FinalJoin, |ctx| {
-        let mut heads: Vec<Option<Vec<u8>>> = Vec::new();
-        for (_, _, r) in table_readers.iter_mut() {
-            heads.push(r.next_row(&mut ctx.token.flash)?.map(|x| x.to_vec()));
-        }
-        let mut pos = 0u32;
-        while let Some(cell) = root_reader.next_row(&mut ctx.token.flash)? {
-            let root_id = u32::from_le_bytes(cell[..4].try_into().expect("id cell"));
-            // Advance each table stream to `pos`.
-            let mut all_present = true;
-            let mut current: Vec<Option<Vec<u8>>> = vec![None; table_readers.len()];
-            for (i, (_, pt, r)) in table_readers.iter_mut().enumerate() {
-                loop {
-                    match &heads[i] {
-                        None => {
-                            all_present = false;
-                            break;
-                        }
-                        Some(row) => {
-                            let rpos = pt.table.layout.get_id(row, 0);
-                            if rpos < pos {
-                                heads[i] = r.next_row(&mut ctx.token.flash)?.map(|x| x.to_vec());
-                            } else if rpos == pos {
-                                current[i] = heads[i].clone();
-                                break;
-                            } else {
+        ctx.lane.with_flash(|dev| {
+            let mut heads: Vec<Option<Vec<u8>>> = Vec::new();
+            for (_, _, r) in table_readers.iter_mut() {
+                heads.push(r.next_row(dev)?.map(|x| x.to_vec()));
+            }
+            let mut pos = 0u32;
+            while let Some(cell) = root_reader.next_row(dev)? {
+                let root_id = u32::from_le_bytes(cell[..4].try_into().expect("id cell"));
+                // Advance each table stream to `pos`.
+                let mut all_present = true;
+                let mut current: Vec<Option<Vec<u8>>> = vec![None; table_readers.len()];
+                for (i, (_, pt, r)) in table_readers.iter_mut().enumerate() {
+                    loop {
+                        match &heads[i] {
+                            None => {
                                 all_present = false;
                                 break;
                             }
+                            Some(row) => {
+                                let rpos = pt.table.layout.get_id(row, 0);
+                                if rpos < pos {
+                                    heads[i] = r.next_row(dev)?.map(|x| x.to_vec());
+                                } else if rpos == pos {
+                                    current[i] = heads[i].clone();
+                                    break;
+                                } else {
+                                    all_present = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if !all_present {
+                        break;
+                    }
+                }
+                // Root-side checks.
+                let mut keep = all_present;
+                if keep {
+                    for (scan, pred) in root_recheck.iter_mut() {
+                        let v = scan.value_at(dev, root_id)?;
+                        if !pred.matches(&v) {
+                            keep = false;
                         }
                     }
                 }
-                if !all_present {
-                    break;
-                }
-            }
-            // Root-side checks.
-            let mut keep = all_present;
-            if keep {
-                for (scan, pred) in root_recheck.iter_mut() {
-                    let v = scan.value_at(&mut ctx.token.flash, root_id)?;
-                    if !pred.matches(&v) {
-                        keep = false;
+                let root_idx = match (&root_vis_map, keep) {
+                    (Some(map), true) => {
+                        let idx = map.get(&root_id).copied();
+                        if root_filter_pending && idx.is_none() {
+                            keep = false;
+                        }
+                        idx
                     }
-                }
-            }
-            let root_idx = match (&root_vis_map, keep) {
-                (Some(map), true) => {
-                    let idx = map.get(&root_id).copied();
-                    if root_filter_pending && idx.is_none() {
-                        keep = false;
-                    }
-                    idx
-                }
-                _ => None,
-            };
-            if keep {
-                let mut out_row = Vec::with_capacity(a.output.len());
-                for (t, cname) in &a.output {
-                    if *t == root {
-                        if cname == "id" {
-                            out_row.push(Value::Int(root_id as i64));
-                        } else if let Some(i) = root_proj.vis.iter().position(|c| c == cname) {
-                            let shipment = root_shipment.as_ref().expect("vis projected");
-                            let idx = root_idx.ok_or_else(|| {
-                                ExecError::Query(format!(
-                                    "root id {root_id} missing from visible shipment"
-                                ))
-                            })?;
-                            out_row.push(shipment.columns[i].1[idx].clone());
+                    _ => None,
+                };
+                if keep {
+                    let mut out_row = Vec::with_capacity(a.output.len());
+                    for (t, cname) in &a.output {
+                        if *t == root {
+                            if cname == "id" {
+                                out_row.push(Value::Int(root_id as i64));
+                            } else if let Some(i) = root_proj.vis.iter().position(|c| c == cname) {
+                                let shipment = root_shipment.as_ref().expect("vis projected");
+                                let idx = root_idx.ok_or_else(|| {
+                                    ExecError::Query(format!(
+                                        "root id {root_id} missing from visible shipment"
+                                    ))
+                                })?;
+                                out_row.push(shipment.columns[i].1[idx].clone());
+                            } else {
+                                let (_, scan) = root_hid_scans
+                                    .iter_mut()
+                                    .find(|(n, _)| n == cname)
+                                    .expect("analyzed hidden projection");
+                                out_row.push(scan.value_at(dev, root_id)?);
+                            }
                         } else {
-                            let (_, scan) = root_hid_scans
-                                .iter_mut()
-                                .find(|(n, _)| n == cname)
-                                .expect("analyzed hidden projection");
-                            out_row.push(scan.value_at(&mut ctx.token.flash, root_id)?);
-                        }
-                    } else {
-                        let i = table_readers
-                            .iter()
-                            .position(|(tt, _, _)| tt == t)
-                            .expect("participating table");
-                        let (_, pt, _) = &table_readers[i];
-                        let row = current[i].as_ref().expect("present");
-                        if cname == "id" {
-                            out_row.push(Value::Int(pt.table.layout.get_id(row, 1) as i64));
-                        } else {
-                            let (field, ty) = pt.field_of(cname).expect("analyzed projection");
-                            out_row.push(Value::decode(&ty, pt.table.layout.field(row, field)));
+                            let i = table_readers
+                                .iter()
+                                .position(|(tt, _, _)| tt == t)
+                                .expect("participating table");
+                            let (_, pt, _) = &table_readers[i];
+                            let row = current[i].as_ref().expect("present");
+                            if cname == "id" {
+                                out_row.push(Value::Int(pt.table.layout.get_id(row, 1) as i64));
+                            } else {
+                                let (field, ty) = pt.field_of(cname).expect("analyzed projection");
+                                out_row.push(Value::decode(&ty, pt.table.layout.field(row, field)));
+                            }
                         }
                     }
+                    rows.push(out_row);
                 }
-                rows.push(out_row);
+                pos += 1;
             }
-            pos += 1;
-        }
-        Ok(())
+            Ok(())
+        })
     })?;
 
     Ok(ResultSet { columns, rows })
@@ -747,14 +780,14 @@ fn final_join(
 /// Figure 12's Brute-Force baseline: load the QEPSJ result into RAM chunk
 /// by chunk and random-access every projected attribute.
 fn brute_force(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, '_>,
     a: &Analyzed,
     sj: &SjOutcome,
     root_col: FlashTable,
     participants: &[TableId],
     id_cols: &[FlashTable],
 ) -> Result<ResultSet> {
-    let root = ctx.schema.root();
+    let root = ctx.cat.schema.root();
     let ram = ctx.ram();
     let page_size = ctx.page_size();
 
@@ -774,13 +807,22 @@ fn brute_force(
         let preds = a.vis_preds_of(*t);
         let pending = sj.approx_vis.contains(t) || sj.deferred_vis.contains(t);
         if !tproj.vis.is_empty() || (pending && !preds.is_empty()) {
-            let s = ctx.untrusted.vis(
-                &mut ctx.token.channel,
-                *t,
-                &ctx.schema.def(*t).name,
-                preds,
-                &tproj.vis,
-            )?;
+            let s = ctx.vis(*t, preds, &tproj.vis)?;
+            let map = s.ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+            shipments.insert(*t, (s, map));
+        }
+    }
+    // Pending filters whose tables shipped nothing above: predicate without
+    // projections — prefetch those shipments too, so the scan below runs
+    // entirely below the channel. Eager shipment is what keeps serial and
+    // intra-parallel comm identical, and it charges Vis per *plan* rather
+    // than per consumed row: on an empty QEPSJ result the old lazy path
+    // skipped these requests, so comm there now includes shipments the
+    // plan declares even though the scan never reads them.
+    for t in sj.approx_vis.iter().chain(&sj.deferred_vis) {
+        if !shipments.contains_key(t) {
+            let preds = a.vis_preds_of(*t);
+            let s = ctx.vis(*t, preds, &[])?;
             let map = s.ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
             shipments.insert(*t, (s, map));
         }
@@ -806,97 +848,80 @@ fn brute_force(
     let columns: Vec<String> = a
         .output
         .iter()
-        .map(|(t, c)| format!("{}.{}", ctx.schema.def(*t).name, c))
+        .map(|(t, c)| format!("{}.{}", ctx.cat.schema.def(*t).name, c))
         .collect();
     let mut rows = Vec::new();
 
+    let hidden = ctx.cat.hidden;
+    let schema = ctx.cat.schema;
     ctx.track(OpKind::BruteForce, |ctx| {
-        while let Some(cell) = root_reader.next_row(&mut ctx.token.flash)? {
-            let root_id = u32::from_le_bytes(cell[..4].try_into().expect("id"));
-            let mut ids: HashMap<TableId, Id> = HashMap::new();
-            ids.insert(root, root_id);
-            for (t, r) in participants.iter().zip(col_readers.iter_mut()) {
-                let cell = r
-                    .next_row(&mut ctx.token.flash)?
-                    .ok_or_else(|| ExecError::Query("column underrun".into()))?;
-                ids.insert(*t, u32::from_le_bytes(cell[..4].try_into().expect("id")));
-            }
-            // Filters: pending visible selections + exact re-checks, all by
-            // random access.
-            let mut keep = true;
-            for t in sj.approx_vis.iter().chain(&sj.deferred_vis) {
-                if let Some((_, map)) = shipments.get(t) {
+        ctx.lane.with_flash(|dev| {
+            while let Some(cell) = root_reader.next_row(dev)? {
+                let root_id = u32::from_le_bytes(cell[..4].try_into().expect("id"));
+                let mut ids: HashMap<TableId, Id> = HashMap::new();
+                ids.insert(root, root_id);
+                for (t, r) in participants.iter().zip(col_readers.iter_mut()) {
+                    let cell = r
+                        .next_row(dev)?
+                        .ok_or_else(|| ExecError::Query("column underrun".into()))?;
+                    ids.insert(*t, u32::from_le_bytes(cell[..4].try_into().expect("id")));
+                }
+                // Filters: pending visible selections + exact re-checks, all
+                // by random access.
+                let mut keep = true;
+                for t in sj.approx_vis.iter().chain(&sj.deferred_vis) {
+                    let (_, map) = shipments.get(t).expect("prefetched above");
                     if !map.contains_key(&ids[t]) {
                         keep = false;
                     }
-                } else {
-                    // Pending filter but nothing shipped: predicate without
-                    // projections — evaluate via the untrusted store count.
-                    let preds = a.vis_preds_of(*t);
-                    let shipped = ctx.untrusted.vis(
-                        &mut ctx.token.channel,
-                        *t,
-                        &ctx.schema.def(*t).name,
-                        preds,
-                        &[],
-                    )?;
-                    let map: HashMap<Id, usize> = shipped
-                        .ids
-                        .iter()
-                        .enumerate()
-                        .map(|(i, id)| (*id, i))
-                        .collect();
-                    if !map.contains_key(&ids[t]) {
-                        keep = false;
-                    }
-                    shipments.insert(*t, (shipped, map));
                 }
-            }
-            if keep {
-                for (t, pred) in &sj.recheck {
-                    let col = ctx.hidden[*t].column(&pred.column)?.clone();
-                    let v = col.get(&mut ctx.token.flash, ids[t])?;
-                    if !pred.matches(&v) {
-                        keep = false;
+                if keep {
+                    for (t, pred) in &sj.recheck {
+                        let col = hidden[*t].column(&pred.column)?.clone();
+                        let v = col.get(dev, ids[t])?;
+                        if !pred.matches(&v) {
+                            keep = false;
+                        }
                     }
                 }
-            }
-            if !keep {
-                continue;
-            }
-            let mut out_row = Vec::with_capacity(a.output.len());
-            for (t, cname) in &a.output {
-                let id = ids[t];
-                if cname == "id" {
-                    out_row.push(Value::Int(id as i64));
+                if !keep {
                     continue;
                 }
-                let def = ctx.schema.def(*t);
-                let col = def.column(cname).expect("analyzed");
-                match col.visibility {
-                    ghostdb_storage::Visibility::Visible => {
-                        let (shipment, map) = shipments.get(t).expect("visible projection shipped");
-                        let idx = *map.get(&id).ok_or_else(|| {
-                            ExecError::Query(format!("id {id} missing from shipment"))
-                        })?;
-                        let c = shipment
-                            .columns
-                            .iter()
-                            .position(|(n, _)| n == cname)
-                            .expect("projected column shipped");
-                        out_row.push(shipment.columns[c].1[idx].clone());
+                let mut out_row = Vec::with_capacity(a.output.len());
+                for (t, cname) in &a.output {
+                    let id = ids[t];
+                    if cname == "id" {
+                        out_row.push(Value::Int(id as i64));
+                        continue;
                     }
-                    ghostdb_storage::Visibility::Hidden => {
-                        // Random flash access — the whole point of the
-                        // baseline's cost.
-                        let hcol = ctx.hidden[*t].column(cname)?.clone();
-                        out_row.push(hcol.get(&mut ctx.token.flash, id)?);
+                    let def = schema.def(*t);
+                    let col = def.column(cname).expect("analyzed");
+                    match col.visibility {
+                        ghostdb_storage::Visibility::Visible => {
+                            let (shipment, map) =
+                                shipments.get(t).expect("visible projection shipped");
+                            let idx = *map.get(&id).ok_or_else(|| {
+                                ExecError::Query(format!("id {id} missing from shipment"))
+                            })?;
+                            let c = shipment
+                                .columns
+                                .iter()
+                                .position(|(n, _)| n == cname)
+                                .expect("projected column shipped");
+                            out_row.push(shipment.columns[c].1[idx].clone());
+                        }
+                        ghostdb_storage::Visibility::Hidden => {
+                            // Random flash access — the whole point of the
+                            // baseline's cost.
+                            let hcol = hidden[*t].column(cname)?.clone();
+                            out_row.push(hcol.get(dev, id)?);
+                        }
                     }
                 }
+                rows.push(out_row);
             }
-            rows.push(out_row);
-        }
-        Ok(())
+            Ok(())
+        })
     })?;
 
     Ok(ResultSet { columns, rows })

@@ -52,7 +52,7 @@ impl OpKind {
         OpKind::BruteForce,
     ];
 
-    fn idx(self) -> usize {
+    pub(crate) fn idx(self) -> usize {
         OpKind::ALL
             .iter()
             .position(|k| *k == self)

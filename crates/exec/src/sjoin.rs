@@ -34,11 +34,11 @@ impl SJoinTable {
 /// `next_id` and receives projected rows via `sink` (id + projected target
 /// ids, in `targets` order). SKT read time is attributed to `SJoin`.
 pub fn sjoin_stream(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, '_>,
     skt: &SubtreeKeyTable,
     targets: &[TableId],
-    mut next_id: impl FnMut(&mut ExecCtx<'_>) -> Result<Option<Id>>,
-    mut sink: impl FnMut(&mut ExecCtx<'_>, Id, &[Id]) -> Result<()>,
+    mut next_id: impl FnMut(&mut ExecCtx<'_, '_>) -> Result<Option<Id>>,
+    mut sink: impl FnMut(&mut ExecCtx<'_, '_>, Id, &[Id]) -> Result<()>,
 ) -> Result<u64> {
     let col_idx: Vec<Option<usize>> = targets
         .iter()
@@ -60,18 +60,16 @@ pub fn sjoin_stream(
     let mut out_ids = vec![0 as Id; targets.len()];
     let mut emitted = 0u64;
     while let Some(id) = next_id(ctx)? {
-        let snap = ctx.token.flash.snapshot();
-        {
-            let row = reader.row_at(&mut ctx.token.flash, id as u64)?;
+        ctx.tracked(OpKind::SJoin, |dev| -> Result<()> {
+            let row = reader.row_at(dev, id as u64)?;
             for (slot, col) in out_ids.iter_mut().zip(&col_idx) {
                 *slot = match col {
                     None => id,
                     Some(c) => layout.get_id(row, *c),
                 };
             }
-        }
-        let d = ctx.token.flash.elapsed_since(&snap);
-        ctx.report.add(OpKind::SJoin, d);
+            Ok(())
+        })?;
         sink(ctx, id, &out_ids)?;
         emitted += 1;
     }
@@ -89,7 +87,7 @@ pub struct SJoinWriter {
 impl SJoinWriter {
     /// Create a writer for up to `max_rows` rows over `owner` + `targets`.
     pub fn create(
-        ctx: &mut ExecCtx<'_>,
+        ctx: &mut ExecCtx<'_, '_>,
         owner: TableId,
         targets: &[TableId],
         max_rows: u64,
@@ -98,7 +96,7 @@ impl SJoinWriter {
         let ram = ctx.ram();
         let page_size = ctx.page_size();
         let writer =
-            FlashTableWriter::create(ctx.alloc, &ram, layout.clone(), max_rows, page_size)?;
+            FlashTableWriter::create(ctx.lane.alloc(), &ram, layout.clone(), max_rows, page_size)?;
         let mut cols = vec![owner];
         cols.extend_from_slice(targets);
         Ok(SJoinWriter {
@@ -109,25 +107,19 @@ impl SJoinWriter {
     }
 
     /// Append one row (owner id + target ids).
-    pub fn push(&mut self, ctx: &mut ExecCtx<'_>, id: Id, targets: &[Id]) -> Result<()> {
+    pub fn push(&mut self, ctx: &mut ExecCtx<'_, '_>, id: Id, targets: &[Id]) -> Result<()> {
         let mut row = vec![0u8; self.layout.size()];
         self.layout.put_id(&mut row, 0, id);
         for (i, t) in targets.iter().enumerate() {
             self.layout.put_id(&mut row, 1 + i, *t);
         }
-        let snap = ctx.token.flash.snapshot();
-        self.writer.push(&mut ctx.token.flash, &row)?;
-        let d = ctx.token.flash.elapsed_since(&snap);
-        ctx.report.add(OpKind::Store, d);
-        Ok(())
+        ctx.tracked(OpKind::Store, |dev| Ok(self.writer.push(dev, &row)?))
     }
 
     /// Finish, registering the segment as a query temp.
-    pub fn finish(self, ctx: &mut ExecCtx<'_>) -> Result<SJoinTable> {
-        let snap = ctx.token.flash.snapshot();
-        let table = self.writer.finish(&mut ctx.token.flash)?;
-        let d = ctx.token.flash.elapsed_since(&snap);
-        ctx.report.add(OpKind::Store, d);
+    pub fn finish(self, ctx: &mut ExecCtx<'_, '_>) -> Result<SJoinTable> {
+        let writer = self.writer;
+        let table = ctx.tracked(OpKind::Store, move |dev| writer.finish(dev))?;
         ctx.add_temp(table.segment());
         Ok(SJoinTable {
             table,
@@ -181,7 +173,7 @@ mod tests {
         // 600 rows × 16-byte rows = 128 rows/page → 5 pages.
         let ids: Vec<Id> = (0..600).collect();
         let mut feed = ids.into_iter();
-        let snap = ctx.token.flash.snapshot();
+        let before = ctx.lane.io();
         sjoin_stream(
             &mut ctx,
             skt,
@@ -190,7 +182,7 @@ mod tests {
             |_ctx, _id, _t| Ok(()),
         )
         .unwrap();
-        let d = ctx.token.flash.stats_since(&snap);
+        let d = ctx.lane.io() - before;
         assert_eq!(d.pages_read, 5);
     }
 
@@ -207,6 +199,6 @@ mod tests {
         assert_eq!(out.table.rows(), 2);
         assert_eq!(out.col_of(t1), Some(1));
         assert_eq!(out.col_of(t0), Some(0));
-        assert!(ctx.report.op(OpKind::Store).as_ns() > 0);
+        assert!(ctx.cost.op(OpKind::Store).as_ns() > 0);
     }
 }

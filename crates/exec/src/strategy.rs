@@ -142,12 +142,12 @@ struct PostPlan {
 /// strategies. `proj_tables` lists tables the projection phase will need id
 /// columns for (they are folded into the SJoin projection, footnote 7).
 pub fn execute_sj(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, '_>,
     a: &Analyzed,
     decisions: &[VisDecision],
     proj_tables: &[TableId],
 ) -> Result<SjOutcome> {
-    let schema = ctx.schema;
+    let schema = ctx.cat.schema;
     let root = schema.root();
     let mut groups: Vec<Vec<IdSource>> = Vec::new();
     let mut crossed: HashSet<usize> = HashSet::new();
@@ -171,9 +171,7 @@ pub fn execute_sj(
             continue;
         }
         // Ship the sorted visible id list (ids only at this stage).
-        let shipment =
-            ctx.untrusted
-                .vis(&mut ctx.token.channel, *t, &schema.def(*t).name, preds, &[])?;
+        let shipment = ctx.vis(*t, preds, &[])?;
         let vis_ids: SharedIds = Arc::new(shipment.ids);
 
         // Cross-intersection with subtree hidden selections.
@@ -288,7 +286,7 @@ pub fn execute_sj(
                     .map(|c| {
                         // Fraction of the SJoin stream the filter passes:
                         // genuine matches + fp on the rest.
-                        let sel = n as f64 / ctx.rows[plan.table].max(1) as f64;
+                        let sel = n as f64 / ctx.cat.rows[plan.table].max(1) as f64;
                         sel + (1.0 - sel) * c.expected_fp < 0.7
                     })
                     .unwrap_or(false);
@@ -332,7 +330,7 @@ pub fn execute_sj(
     if groups.is_empty() {
         groups.push(vec![IdSource::Range {
             start: 0,
-            end: ctx.rows[root] as Id,
+            end: ctx.cat.rows[root] as Id,
         }]);
     }
     let upper: u64 = groups
@@ -409,7 +407,7 @@ pub fn execute_sj(
 /// chunk by chunk and re-scanning F' per chunk (the multi-pass behaviour
 /// that makes Figure 11's Post-Select curve expensive at low selectivity).
 fn post_select_pass(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_, '_>,
     table: SJoinTable,
     t: TableId,
     ids: &[Id],
@@ -442,22 +440,22 @@ fn post_select_pass(
         let mut writer =
             SJoinWriter::create(ctx, table.cols[0], &table.cols[1..], table.table.rows())?;
         loop {
-            let snap = ctx.token.flash.snapshot();
-            let row = reader.next_row(&mut ctx.token.flash)?;
-            let Some(row) = row else {
-                let d = ctx.token.flash.elapsed_since(&snap);
-                ctx.report.add(OpKind::SJoin, d);
+            // One attributed scope per row: read + decode + chunk probe.
+            let next = ctx.tracked(OpKind::SJoin, |dev| -> Result<_> {
+                let row = reader.next_row(dev)?;
+                let Some(row) = row else { return Ok(None) };
+                let layout = &table.table.layout;
+                let owner = layout.get_id(row, 0);
+                let mut targets = Vec::with_capacity(table.cols.len() - 1);
+                for i in 1..table.cols.len() {
+                    targets.push(layout.get_id(row, i));
+                }
+                let keep = chunk.contains(&targets[col - 1]);
+                Ok(Some((owner, targets, keep)))
+            })?;
+            let Some((owner, targets, keep)) = next else {
                 break;
             };
-            let layout = &table.table.layout;
-            let owner = layout.get_id(row, 0);
-            let mut targets = Vec::with_capacity(table.cols.len() - 1);
-            for i in 1..table.cols.len() {
-                targets.push(layout.get_id(row, i));
-            }
-            let keep = chunk.contains(&targets[col - 1]);
-            let d = ctx.token.flash.elapsed_since(&snap);
-            ctx.report.add(OpKind::SJoin, d);
             if keep {
                 writer.push(ctx, owner, &targets)?;
             }
@@ -471,7 +469,7 @@ fn post_select_pass(
 }
 
 /// K-way merge of SJoin run tables by root id (column 0).
-fn merge_sjoin_runs(ctx: &mut ExecCtx<'_>, runs: Vec<SJoinTable>) -> Result<SJoinTable> {
+fn merge_sjoin_runs(ctx: &mut ExecCtx<'_, '_>, runs: Vec<SJoinTable>) -> Result<SJoinTable> {
     let cols = runs[0].cols.clone();
     let total: u64 = runs.iter().map(|r| r.table.rows()).sum();
     let ram = ctx.ram();
@@ -486,10 +484,9 @@ fn merge_sjoin_runs(ctx: &mut ExecCtx<'_>, runs: Vec<SJoinTable>) -> Result<SJoi
         .collect::<Result<Vec<_>>>()?;
     let mut heads: Vec<Option<Vec<u8>>> = Vec::new();
     for r in readers.iter_mut() {
-        let snap = ctx.token.flash.snapshot();
-        let h = r.next_row(&mut ctx.token.flash)?.map(|row| row.to_vec());
-        let d = ctx.token.flash.elapsed_since(&snap);
-        ctx.report.add(OpKind::SJoin, d);
+        let h = ctx.tracked(OpKind::SJoin, |dev| {
+            Ok::<_, crate::ExecError>(r.next_row(dev)?.map(|row| row.to_vec()))
+        })?;
         heads.push(h);
     }
     let mut writer = SJoinWriter::create(ctx, cols[0], &cols[1..], total)?;
@@ -515,12 +512,9 @@ fn merge_sjoin_runs(ctx: &mut ExecCtx<'_>, runs: Vec<SJoinTable>) -> Result<SJoi
         let owner = layout.get_id(&row, 0);
         let targets: Vec<Id> = (1..cols.len()).map(|i| layout.get_id(&row, i)).collect();
         writer.push(ctx, owner, &targets)?;
-        let snap = ctx.token.flash.snapshot();
-        heads[b] = readers[b]
-            .next_row(&mut ctx.token.flash)?
-            .map(|r| r.to_vec());
-        let d = ctx.token.flash.elapsed_since(&snap);
-        ctx.report.add(OpKind::SJoin, d);
+        heads[b] = ctx.tracked(OpKind::SJoin, |dev| {
+            Ok::<_, crate::ExecError>(readers[b].next_row(dev)?.map(|r| r.to_vec()))
+        })?;
     }
     writer.finish(ctx)
 }

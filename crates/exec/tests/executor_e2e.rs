@@ -286,6 +286,26 @@ fn report_buckets_are_populated() {
 }
 
 #[test]
+fn spill_policies_agree_on_results() {
+    // A wide Pre-Filter probe (110 of 120 T1 ids) delivers more sublists
+    // than RAM buffers, forcing the reduction phase; both spill policies
+    // must deliver identical rows (they only reorder which group's
+    // sublists are unioned into temps first).
+    let mut db = tiny_db();
+    let q = query_q(&db, 110, 3);
+    let expected = expected_q(110, 3);
+    assert!(!expected.is_empty());
+    for policy in [
+        ghostdb_exec::SpillPolicy::WidestSmallest,
+        ghostdb_exec::SpillPolicy::GlobalSmallestK,
+    ] {
+        let opts = ExecOptions::with_strategy(VisStrategy::Pre).with_spill_policy(policy);
+        let rs = run(&mut db, &q, &opts);
+        assert_eq!(rs.sorted().rows, expected, "policy {:?}", policy);
+    }
+}
+
+#[test]
 fn strategies_not_applicable_error_cleanly() {
     let mut db = tiny_db();
     let t0 = db.schema.root();

@@ -98,6 +98,12 @@ impl FlashDevice {
     pub fn wear_spread(&self) -> u64 {
         self.ftl.nand().wear_spread()
     }
+
+    /// Physical page programs the device can absorb before garbage
+    /// collection could first run (see [`crate::ftl::Ftl::gc_headroom_pages`]).
+    pub fn gc_headroom_pages(&self) -> u64 {
+        self.ftl.gc_headroom_pages()
+    }
 }
 
 #[cfg(test)]

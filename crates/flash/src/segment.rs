@@ -61,6 +61,16 @@ impl SegmentAllocator {
         }
     }
 
+    /// Allocator over a carved sub-range of the logical space (a per-worker
+    /// slice handed out by a parent allocator; the parent keeps owning the
+    /// range and reclaims it wholesale when the slice is retired).
+    pub fn over(start: Lpn, pages: u64) -> Self {
+        SegmentAllocator {
+            free: vec![(start, pages)],
+            total_pages: pages,
+        }
+    }
+
     /// Pages not currently allocated.
     pub fn free_pages(&self) -> u64 {
         self.free.iter().map(|(_, len)| len).sum()

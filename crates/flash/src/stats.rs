@@ -145,6 +145,26 @@ impl FlashStats {
     }
 }
 
+impl std::ops::Add for FlashStats {
+    type Output = FlashStats;
+    fn add(mut self, rhs: FlashStats) -> FlashStats {
+        self += rhs;
+        self
+    }
+}
+
+impl std::ops::AddAssign for FlashStats {
+    fn add_assign(&mut self, rhs: FlashStats) {
+        self.pages_read += rhs.pages_read;
+        self.pages_written += rhs.pages_written;
+        self.bytes_to_ram += rhs.bytes_to_ram;
+        self.bytes_from_ram += rhs.bytes_from_ram;
+        self.gc_pages_read += rhs.gc_pages_read;
+        self.gc_pages_written += rhs.gc_pages_written;
+        self.blocks_erased += rhs.blocks_erased;
+    }
+}
+
 impl Sub for FlashStats {
     type Output = FlashStats;
     fn sub(self, rhs: FlashStats) -> FlashStats {

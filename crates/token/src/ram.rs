@@ -56,6 +56,14 @@ impl RamArena {
         RamArena::new(buf_size, (total_bytes / buf_size).max(1))
     }
 
+    /// A fresh, empty arena with this arena's geometry (same buffer size
+    /// and capacity, zero in-use). Intra-query worker lanes draw from one
+    /// of these each so their RAM-driven decisions replay the serial
+    /// path's exactly; the parent merges their peaks back explicitly.
+    pub fn fresh_like(&self) -> RamArena {
+        RamArena::new(self.state.buf_size, self.state.capacity)
+    }
+
     /// Buffer size in bytes (the Flash I/O unit).
     pub fn buf_size(&self) -> usize {
         self.state.buf_size

@@ -1,0 +1,99 @@
+//! Property tests for `CostScope` merging — the algebra that makes
+//! intra-query attribution deterministic. Worker scopes merge into the
+//! parent in job order; for that to be bit-identical to the serial
+//! accumulation (and to any other join order the scheduler could produce),
+//! the merge must be associative and order-insensitive, and applying the
+//! merged scope to an `ExecReport` must equal accumulating every delta
+//! directly in canonical operator order.
+
+use ghostdb_exec::{CostScope, ExecReport, OpKind};
+use ghostdb_flash::SimDuration;
+use proptest::prelude::*;
+
+/// A random attribution trace: (operator index, nanoseconds) deltas.
+fn trace() -> impl Strategy<Value = Vec<(usize, u64)>> {
+    proptest::collection::vec((0usize..OpKind::ALL.len(), 0u64..1_000_000_000), 0..64)
+}
+
+fn scope_of(deltas: &[(usize, u64)]) -> CostScope {
+    let mut s = CostScope::new();
+    for (op, ns) in deltas {
+        s.add(OpKind::ALL[*op], SimDuration::from_ns(*ns as u128));
+    }
+    s
+}
+
+proptest! {
+    /// Splitting a trace at any point and merging the two scopes equals
+    /// accumulating the whole trace into one scope.
+    #[test]
+    fn split_merge_equals_direct(deltas in trace(), split in 0usize..=64) {
+        let cut = split.min(deltas.len());
+        let mut left = scope_of(&deltas[..cut]);
+        let right = scope_of(&deltas[cut..]);
+        left.merge_from(&right);
+        prop_assert_eq!(left, scope_of(&deltas));
+    }
+
+    /// Merging three scopes is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_is_associative(a in trace(), b in trace(), c in trace()) {
+        let (sa, sb, sc) = (scope_of(&a), scope_of(&b), scope_of(&c));
+        let mut ab_c = sa.clone();
+        ab_c.merge_from(&sb);
+        ab_c.merge_from(&sc);
+        let mut bc = sb.clone();
+        bc.merge_from(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge_from(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    /// Merging worker scopes in any order yields the same parent scope
+    /// (the scheduler's join order cannot leak into attribution).
+    #[test]
+    fn merge_is_order_insensitive(chunks in proptest::collection::vec(trace(), 1..6), rot in 0usize..6) {
+        let scopes: Vec<CostScope> = chunks.iter().map(|c| scope_of(c)).collect();
+        let fold = |order: &[usize]| {
+            let mut acc = CostScope::new();
+            for i in order {
+                acc.merge_from(&scopes[*i]);
+            }
+            acc
+        };
+        let forward: Vec<usize> = (0..scopes.len()).collect();
+        let mut rotated = forward.clone();
+        rotated.rotate_left(rot % scopes.len().max(1));
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let want = fold(&forward);
+        prop_assert_eq!(&fold(&rotated), &want);
+        prop_assert_eq!(&fold(&reversed), &want);
+    }
+
+    /// Applying a merged scope to a report walks `OpKind::ALL` in canonical
+    /// order and equals the report built by direct accumulation; RAM peaks
+    /// combine by max.
+    #[test]
+    fn apply_to_report_is_canonical(a in trace(), b in trace(), pa in 0usize..64, pb in 0usize..64) {
+        let mut sa = scope_of(&a);
+        sa.peak_ram = pa;
+        let mut sb = scope_of(&b);
+        sb.peak_ram = pb;
+        let mut merged = sa.clone();
+        merged.merge_from(&sb);
+        let mut via_scopes = ExecReport::new();
+        merged.apply_to(&mut via_scopes);
+
+        let mut direct = ExecReport::new();
+        for (op, ns) in a.iter().chain(&b) {
+            direct.add(OpKind::ALL[*op], SimDuration::from_ns(*ns as u128));
+        }
+        direct.peak_ram_buffers = pa.max(pb);
+        for op in OpKind::ALL {
+            prop_assert_eq!(via_scopes.op(op), direct.op(op), "bucket {}", op.name());
+        }
+        prop_assert_eq!(via_scopes.flash_total(), direct.flash_total());
+        prop_assert_eq!(via_scopes.peak_ram_buffers, direct.peak_ram_buffers);
+    }
+}

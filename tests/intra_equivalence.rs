@@ -1,0 +1,165 @@
+//! Intra-query parallel equivalence: `--intra-threads N` must produce
+//! query results AND per-operator `ExecReport` attribution bit-identical
+//! to the serial executor, for every `VisStrategy` × `ProjectAlgo`, at
+//! threads ∈ {1, 2, 4}. This is the lock on the execution-context lane
+//! split: any scheduling-dependent cost (a worker's I/O leaking into a
+//! sibling's `track()` scope, a RAM-driven decision seeing a different
+//! arena baseline, a non-canonical scope merge) shows up here as a diff in
+//! one of the `OpKind` buckets, `io`, or `peak_ram_buffers`.
+
+use ghostdb_datagen::{MedicalDataset, SyntheticDataset, SyntheticSpec};
+use ghostdb_exec::project::ProjectAlgo;
+use ghostdb_exec::strategy::VisStrategy;
+use ghostdb_exec::{Database, ExecOptions, ExecReport, Executor, OpKind, SpjQuery};
+
+const STRATEGIES: [VisStrategy; 7] = [
+    VisStrategy::Pre,
+    VisStrategy::CrossPre,
+    VisStrategy::Post,
+    VisStrategy::CrossPost,
+    VisStrategy::PostSelect,
+    VisStrategy::CrossPostSelect,
+    VisStrategy::NoFilter,
+];
+const ALGOS: [ProjectAlgo; 3] = [
+    ProjectAlgo::Project,
+    ProjectAlgo::ProjectNoBf,
+    ProjectAlgo::BruteForce,
+];
+
+/// Every observable field of two reports must match bit for bit.
+fn assert_report_identical(label: &str, want: &ExecReport, got: &ExecReport) {
+    for op in OpKind::ALL {
+        assert_eq!(
+            want.op(op),
+            got.op(op),
+            "{label}: {} bucket diverges",
+            op.name()
+        );
+    }
+    assert_eq!(
+        want.flash_total(),
+        got.flash_total(),
+        "{label}: flash_total"
+    );
+    assert_eq!(want.comm, got.comm, "{label}: comm");
+    assert_eq!(
+        want.bytes_to_secure, got.bytes_to_secure,
+        "{label}: bytes_to_secure"
+    );
+    assert_eq!(want.result_rows, got.result_rows, "{label}: result_rows");
+    assert_eq!(want.io, got.io, "{label}: io counters");
+    assert_eq!(
+        want.peak_ram_buffers, got.peak_ram_buffers,
+        "{label}: peak_ram_buffers"
+    );
+}
+
+/// Run the full strategy × algorithm matrix serially (intra = 1) and at
+/// each parallel width, comparing results and reports job by job. Each
+/// width gets its own database (queries reclaim temps, so sequential runs
+/// on one database report exactly like fresh ones — the serial baseline
+/// and the parallel runs see identical starting states).
+fn assert_intra_equivalent(label: &str, build: impl Fn() -> Database, q: &SpjQuery) {
+    let jobs: Vec<(VisStrategy, ProjectAlgo)> = STRATEGIES
+        .iter()
+        .flat_map(|s| ALGOS.iter().map(move |a| (*s, *a)))
+        .collect();
+    let mut serial_db = build();
+    let serial: Vec<_> = jobs
+        .iter()
+        .map(|(s, a)| {
+            let opts = ExecOptions::with_strategy(*s)
+                .with_project(*a)
+                .with_intra_threads(1);
+            Executor::run(&mut serial_db, q, &opts).expect("serial run")
+        })
+        .collect();
+    for threads in [2usize, 4] {
+        let mut db = build();
+        for ((s, a), (want_rs, want_rep)) in jobs.iter().zip(&serial) {
+            let opts = ExecOptions::with_strategy(*s)
+                .with_project(*a)
+                .with_intra_threads(threads);
+            let (rs, rep) = Executor::run(&mut db, q, &opts).expect("intra run");
+            let tag = format!("{label}/{}/{}/threads={threads}", s.name(), a.name());
+            assert_eq!(&rs, want_rs, "{tag}: result set diverges");
+            assert_report_identical(&tag, want_rep, &rep);
+        }
+    }
+}
+
+fn synthetic_query(ds: &SyntheticDataset) -> SpjQuery {
+    let t0 = ds.schema.root();
+    let t1 = ds.schema.table_id("T1").expect("T1");
+    let t12 = ds.schema.table_id("T12").expect("T12");
+    // Visible selection on T1, hidden selection on T12 (in T1's subtree so
+    // every Cross strategy applies), mixed visible + hidden projections on
+    // two non-root tables — the shape that drives the per-table MJoin
+    // fan-out through its worker lanes.
+    let mut q = SpjQuery::new()
+        .pred(t1, ds.selectivity_pred("T1", "v1", 0.05))
+        .pred(t12, ds.selectivity_pred("T12", "h2", 0.1))
+        .project(t0, "id")
+        .project(t1, "id")
+        .project(t1, "v1")
+        .project(t1, "h1")
+        .project(t12, "id")
+        .project(t12, "h1");
+    q.text = "intra-equivalence-Q".into();
+    q
+}
+
+#[test]
+fn synthetic_all_strategies_and_algos_bit_identical() {
+    let mut spec = SyntheticSpec::paper(0.0008); // T0 = 8 000
+    spec.seed = 23;
+    let ds = SyntheticDataset::generate(spec);
+    let q = synthetic_query(&ds);
+    assert_intra_equivalent("synthetic x0.0008", || ds.build().expect("build"), &q);
+}
+
+#[test]
+fn medical_workload_bit_identical() {
+    let ds = MedicalDataset::generate(0.002, 7);
+    let m = ds.schema.table_id("Measurements").expect("m");
+    let p = ds.schema.table_id("Patients").expect("p");
+    let d = ds.schema.table_id("Doctors").expect("d");
+    let mut q = SpjQuery::new()
+        .pred(p, ds.visible_pred(0.2))
+        .pred(d, ds.hidden_pred(0.1))
+        .project(m, "id")
+        .project(p, "id")
+        .project(d, "id")
+        .project(p, "first_name");
+    q.text = "intra-equivalence-medical".into();
+    assert_intra_equivalent("medical x0.002", || ds.build().expect("build"), &q);
+}
+
+#[test]
+fn intra_runs_are_deterministic_across_repeats() {
+    // Two identical intra-parallel runs must agree with each other too
+    // (scheduling may differ; nothing observable may).
+    let mut spec = SyntheticSpec::paper(0.0005);
+    spec.seed = 31;
+    let ds = SyntheticDataset::generate(spec);
+    let q = synthetic_query(&ds);
+    let opts = ExecOptions::with_strategy(VisStrategy::CrossPost)
+        .with_project(ProjectAlgo::Project)
+        .with_intra_threads(4);
+    let mut db_a = ds.build().expect("build");
+    let (rs_a, rep_a) = Executor::run(&mut db_a, &q, &opts).expect("run a");
+    let mut db_b = ds.build().expect("build");
+    let (rs_b, rep_b) = Executor::run(&mut db_b, &q, &opts).expect("run b");
+    assert_eq!(rs_a, rs_b);
+    assert_report_identical("repeat", &rep_a, &rep_b);
+}
+
+#[test]
+fn zero_intra_threads_is_rejected() {
+    let ds = SyntheticDataset::generate(SyntheticSpec::small());
+    let q = synthetic_query(&ds);
+    let mut db = ds.build().expect("build");
+    let opts = ExecOptions::auto().with_intra_threads(0);
+    assert!(Executor::run(&mut db, &q, &opts).is_err());
+}
