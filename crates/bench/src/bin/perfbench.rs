@@ -36,7 +36,7 @@ use ghostdb_bench::{
     build_medical, build_synthetic, build_synthetic_zipf, medical_q, query_q, run_with_tuned,
 };
 use ghostdb_bloom::hash::hash_i;
-use ghostdb_bloom::BloomFilter;
+use ghostdb_bloom::{BlockedBloomFilter, BloomFilter};
 use ghostdb_exec::merge::{merge_to_vec, merge_to_vec_streaming};
 use ghostdb_exec::parallel::fan_out;
 use ghostdb_exec::project::ProjectAlgo;
@@ -443,6 +443,43 @@ fn zipf_scenarios(
     ));
 }
 
+/// High-cardinality Cross scenarios: the hidden selection sits on `T1.h1`
+/// — one distinct key per row, so the index B+-tree spans hundreds of
+/// leaves and the CI scan is a visible share of the query. This is where
+/// the single-traversal multi-level read path shows up end to end, not
+/// just in the `micro/ci/multi-*` isolation pair.
+fn hicard_scenarios(
+    scale: f64,
+    warmup: usize,
+    iters: usize,
+    tune: Tuning,
+    out: &mut Vec<BenchEntry>,
+) {
+    let points = [VisStrategy::CrossPre, VisStrategy::CrossPost];
+    out.extend(sweep(
+        &format!("synthetic-hicard x{scale}"),
+        points.len(),
+        tune.threads,
+        || build_synthetic(scale),
+        |(ds, db), i| {
+            let strategy = points[i];
+            let q = ghostdb_bench::query_q_hicard(ds, db, 0.01, 0.25);
+            let name = format!("synthetic-hicard/x{scale}/{}", strategy.name());
+            eprintln!("perfbench: {name}");
+            measure(name, warmup, iters, || {
+                report_stats(&run_with_tuned(
+                    db,
+                    &q,
+                    strategy,
+                    ProjectAlgo::Project,
+                    tune.intra,
+                    tune.spill,
+                ))
+            })
+        },
+    ));
+}
+
 fn medical_scenarios(
     scale: f64,
     warmup: usize,
@@ -622,6 +659,35 @@ fn micro_bloom(warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
             ..Default::default()
         }
     }));
+
+    // The blocked ("split") candidate: one cache line per key, judged
+    // against double hashing. The executor only adopts it if these show a
+    // wall-clock win — on cache-resident token-sized filters the locality
+    // argument is weak, and this pair records the measured verdict.
+    out.push(measure("micro/bloom/build_blocked", warmup, iters, || {
+        let mut bf = BlockedBloomFilter::new(vec![0u8; bytes], m_bits, k);
+        for key in 0..n {
+            bf.insert(key);
+        }
+        std::hint::black_box(&bf);
+        RunStats {
+            ops: n,
+            ..Default::default()
+        }
+    }));
+    let mut blk = BlockedBloomFilter::new(vec![0u8; bytes], m_bits, k);
+    for key in (0..2 * n).step_by(2) {
+        blk.insert(key);
+    }
+    let mut blk_scratch: Vec<u64> = Vec::new();
+    out.push(measure("micro/bloom/probe_blocked", warmup, iters, || {
+        blk.retain_into(&probes, &mut blk_scratch);
+        std::hint::black_box(blk_scratch.len());
+        RunStats {
+            ops: probes.len() as u64,
+            ..Default::default()
+        }
+    }));
 }
 
 /// Climbing-index equality probes: per-id descents vs the batched
@@ -685,6 +751,96 @@ fn micro_ci_probe(warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
     }));
 }
 
+/// Multi-level climbing-index range scans: the naive per-level traversal
+/// vs the single traversal decoding every requested level per leaf entry
+/// (the Cross-Post "redundant lookup" fix). A 4-deep chain schema
+/// `C0 ← C1 ← C2 ← C3` gives the index 4 levels (48-byte payloads, 36 leaf
+/// entries per 2 KiB page), so the full-domain scan walks ~330 leaves —
+/// the naive path re-reads them once per extra level.
+fn micro_ci_multi(warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
+    use ghostdb_storage::schema::{Column, SchemaTree, TableDef};
+    use ghostdb_storage::ColumnType;
+    let col = || Column::hidden("h", ColumnType::char(8));
+    let schema = SchemaTree::new(vec![
+        TableDef::new("C0").with_column(col()).with_fk("fk1", "C1"),
+        TableDef::new("C1").with_column(col()).with_fk("fk2", "C2"),
+        TableDef::new("C2").with_column(col()).with_fk("fk3", "C3"),
+        TableDef::new("C3").with_column(col()),
+    ])
+    .expect("chain schema");
+    let (mut dev, mut alloc, ram) = micro_device();
+    let rows = vec![80_000u64, 40_000, 20_000, 30_000]; // C0..C3
+    let mut fks = FkData::default();
+    for parent in 0..3usize {
+        let child_rows = rows[parent + 1];
+        fks.insert(
+            parent,
+            parent + 1,
+            (0..rows[parent]).map(|i| (i % child_rows) as Id).collect(),
+        );
+    }
+    let keys: Vec<u64> = (0..rows[3]).map(|r| r % 12_000).collect();
+    let ci = IndexBuilder::new(schema, rows, fks)
+        .build_climbing(
+            &mut dev,
+            &mut alloc,
+            ClimbingSpec {
+                table: 3,
+                column: "h",
+                keys: &keys,
+                levels: LevelSpec::FullClimb,
+                exact: true,
+            },
+        )
+        .expect("chain index builds");
+    assert_eq!(ci.levels.len(), 4);
+    let (lo, hi) = (0u64, 12_000u64);
+    // Unlike the host-side micros, these record `bytes_io` too: the
+    // naive-vs-single flash-byte ratio (≈ levels requested) is the
+    // Cross-Post CI cost reduction, carried straight into BENCH.json.
+    for (tag, levels) in [("2lvl", vec![0usize, 3]), ("4lvl", vec![0, 1, 2, 3])] {
+        let naive_levels = levels.clone();
+        out.push(measure(
+            format!("micro/ci/multi-{tag}_naive"),
+            warmup,
+            iters,
+            || {
+                let mut probe = ci.probe(&ram).unwrap();
+                let snap = dev.snapshot();
+                let mut lists = 0u64;
+                for &level in &naive_levels {
+                    lists += probe
+                        .naive_lookup_range(&mut dev, lo, hi, level)
+                        .unwrap()
+                        .len() as u64;
+                }
+                let io = dev.stats_since(&snap);
+                RunStats {
+                    ops: lists,
+                    bytes_io: io.bytes_to_ram + io.bytes_from_ram,
+                    ..Default::default()
+                }
+            },
+        ));
+        out.push(measure(
+            format!("micro/ci/multi-{tag}_single"),
+            warmup,
+            iters,
+            || {
+                let mut probe = ci.probe(&ram).unwrap();
+                let snap = dev.snapshot();
+                let all = probe.lookup_range_multi(&mut dev, lo, hi, &levels).unwrap();
+                let io = dev.stats_since(&snap);
+                RunStats {
+                    ops: all.iter().map(|l| l.len() as u64).sum(),
+                    bytes_io: io.bytes_to_ram + io.bytes_from_ram,
+                    ..Default::default()
+                }
+            },
+        ));
+    }
+}
+
 /// SJoin stream throughput over the synthetic SKT.
 fn micro_sjoin(scale: f64, warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
     let (_, mut db) = build_synthetic(scale);
@@ -733,7 +889,11 @@ fn print_improvements(entries: &[BenchEntry]) {
         ("micro/merge/union16_naive", "micro/merge/union16_heap"),
         ("micro/bloom/build_naive", "micro/bloom/build_dh"),
         ("micro/bloom/probe_naive", "micro/bloom/probe_dh"),
+        ("micro/bloom/build_dh", "micro/bloom/build_blocked"),
+        ("micro/bloom/probe_dh", "micro/bloom/probe_blocked"),
         ("micro/ci/probe_scalar", "micro/ci/probe_run"),
+        ("micro/ci/multi-2lvl_naive", "micro/ci/multi-2lvl_single"),
+        ("micro/ci/multi-4lvl_naive", "micro/ci/multi-4lvl_single"),
         (
             "micro/idlist/intersect_stream",
             "micro/idlist/intersect_gallop",
@@ -789,6 +949,7 @@ fn main() {
         synthetic_scenarios(opts.scale2, warmup, iters, tune, &mut entries);
     }
     zipf_scenarios(opts.scale, warmup, iters, tune, &mut entries);
+    hicard_scenarios(opts.scale, warmup, iters, tune, &mut entries);
     medical_scenarios(opts.medical_scale, warmup, iters, tune, &mut entries);
 
     eprintln!("perfbench: operator microbenches...");
@@ -796,6 +957,7 @@ fn main() {
     micro_intersect(warmup, iters, &mut entries);
     micro_bloom(warmup, iters, &mut entries);
     micro_ci_probe(warmup, iters, &mut entries);
+    micro_ci_multi(warmup, iters, &mut entries);
     micro_sjoin(opts.scale, warmup, iters, &mut entries);
 
     let doc = bench_doc(mode, threads, tune.intra, tune.spill.name(), &entries);

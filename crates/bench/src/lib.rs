@@ -77,6 +77,24 @@ pub fn query_q(ds: &SyntheticDataset, db: &Database, sv: f64, with_hidden_proj: 
     q
 }
 
+/// A Cross variant of Q with the hidden selection on `T1.h1` instead of
+/// `T12.h2`: `h1` values are a permutation (one distinct key per row), so
+/// the climbing index's B+-tree spans |T1|/63 leaves instead of fitting in
+/// one — the regime where the Cross-Post "redundant lookup" is a material
+/// share of the query and the single-traversal multi-level read path pays
+/// off end to end (`synthetic-hicard/…` scenarios).
+pub fn query_q_hicard(ds: &SyntheticDataset, db: &Database, sv: f64, sh: f64) -> SpjQuery {
+    let t0 = db.schema.root();
+    let t1 = db.schema.table_id("T1").expect("T1");
+    let mut q = SpjQuery::new()
+        .pred(t1, ds.selectivity_pred("T1", "v1", sv))
+        .pred(t1, ds.selectivity_pred("T1", "h1", sh))
+        .project(t0, "id")
+        .project(t1, "id");
+    q.text = format!("Q-hicard(sv={sv}, sh={sh})");
+    q
+}
+
 /// Run a query under a forced strategy; `None` when the strategy is not
 /// executable for this configuration (Figure 10's Post cutoff surfaces as
 /// the executor deferring the selection — detected via the report).

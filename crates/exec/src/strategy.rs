@@ -20,7 +20,7 @@
 //!   reproducing the Figure 10 cutoff at sV = 0.5).
 
 use crate::bloom_ops::{build_bloom, BloomHandle};
-use crate::ci_ops::{probe_in, select_sublists};
+use crate::ci_ops::{probe_in, select_sublists, select_sublists_multi};
 use crate::ctx::ExecCtx;
 use crate::error::ExecError;
 use crate::merge::{merge_to_list, merge_to_vec, open_merge};
@@ -31,7 +31,7 @@ use crate::source::{IdSource, SharedIds};
 use crate::Result;
 use ghostdb_bloom::calibrate;
 use ghostdb_storage::{Id, IdList, Predicate, TableId};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Strategy for one visible selection.
@@ -151,6 +151,11 @@ pub fn execute_sj(
     let root = schema.root();
     let mut groups: Vec<Vec<IdSource>> = Vec::new();
     let mut crossed: HashSet<usize> = HashSet::new();
+    // Root-level sublists banked by Cross-Post traversals: the hidden loop
+    // below consumes these instead of re-walking the B+-tree (the paper's
+    // "redundant lookup" of Cross-Post plans, avoided via the multi-level
+    // read path).
+    let mut root_prefetch: HashMap<usize, Vec<IdSource>> = HashMap::new();
     let mut post_plans: Vec<PostPlan> = Vec::new();
     let mut approx_vis = Vec::new();
     let mut deferred_vis = Vec::new();
@@ -192,12 +197,24 @@ pub fn execute_sj(
             let mut lgroups: Vec<Vec<IdSource>> = vec![vec![IdSource::Host(vis_ids.clone())]];
             for (i, sel) in &sels {
                 let ci = ctx.attr_index(sel.table, &sel.pred.column)?;
-                lgroups.push(select_sublists(ctx, ci, &sel.pred, *t)?);
                 // Cross-PRE applies these hidden selections exactly through
                 // the probe; they leave the root groups. Cross-POST keeps
-                // them (the Bloom filter is approximate).
+                // them (the Bloom filter is approximate), so the same index
+                // is walked again for the root level in the hidden loop
+                // below — decode both levels from one traversal instead.
                 if strategy == VisStrategy::CrossPre {
+                    lgroups.push(select_sublists(ctx, ci, &sel.pred, *t)?);
                     crossed.insert(*i);
+                } else if root_prefetch.contains_key(i) {
+                    // An earlier visible table already banked the root
+                    // sublists of this hidden selection; only the cross
+                    // level is needed here.
+                    lgroups.push(select_sublists(ctx, ci, &sel.pred, *t)?);
+                } else {
+                    let mut both = select_sublists_multi(ctx, ci, &sel.pred, &[*t, root])?;
+                    let root_subs = both.pop().expect("two requested levels");
+                    lgroups.push(both.pop().expect("two requested levels"));
+                    root_prefetch.insert(*i, root_subs);
                 }
             }
             Some(Arc::new(merge_to_vec(ctx, lgroups)?))
@@ -235,13 +252,20 @@ pub fn execute_sj(
         }
     }
 
-    // Hidden selections not folded into a Cross-Pre probe climb to the root.
+    // Hidden selections not folded into a Cross-Pre probe climb to the
+    // root — via the sublists a Cross-Post traversal already banked where
+    // possible, a fresh single-level scan otherwise.
     for (i, sel) in a.hid_sels.iter().enumerate() {
         if crossed.contains(&i) {
             continue;
         }
-        let ci = ctx.attr_index(sel.table, &sel.pred.column)?;
-        let subs = select_sublists(ctx, ci, &sel.pred, root)?;
+        let subs = match root_prefetch.remove(&i) {
+            Some(subs) => subs,
+            None => {
+                let ci = ctx.attr_index(sel.table, &sel.pred.column)?;
+                select_sublists(ctx, ci, &sel.pred, root)?
+            }
+        };
         if subs.is_empty() {
             groups.push(vec![IdSource::Host(Arc::new(Vec::new()))]);
         } else {

@@ -187,8 +187,37 @@ impl CiProbe<'_> {
 
     /// Range probe over keys in `[lo, hi]` (inclusive): one sorted sublist
     /// per matching entry — the `{Li}` collections the paper's plans feed to
-    /// `Merge`.
+    /// `Merge`. An inverted range (`lo > hi`) yields no sublists.
+    ///
+    /// Backed by the same single [`BTreeCursor::scan_range`] traversal as
+    /// [`lookup_range_multi`](Self::lookup_range_multi) (with one level),
+    /// so the two paths cannot diverge in results or pages read.
     pub fn lookup_range(
+        &mut self,
+        dev: &mut FlashDevice,
+        lo: u64,
+        hi: u64,
+        level: usize,
+    ) -> Result<Vec<IdList>> {
+        self.check_level(level)?;
+        let index = self.index;
+        let mut out = Vec::with_capacity(self.range_capacity_hint(lo, hi));
+        self.cursor.scan_range(dev, lo, hi, |_key, payload| {
+            out.push(index.decode_level(payload, level));
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Reference implementation of [`lookup_range`](Self::lookup_range):
+    /// a full root-to-leaf [`BTreeCursor::seek`] followed by per-entry
+    /// [`BTreeCursor::next_into`] payload copies — the pre-batching read
+    /// path, kept verbatim (mirroring `NaiveUnionStream`) so the
+    /// single-traversal scan is always judged against what it replaced,
+    /// by the differential suite and the `micro/ci/multi-*` perfbench
+    /// pair alike. Same sublists, same pages read; only the per-entry
+    /// copies and the repeated descents differ.
+    pub fn naive_lookup_range(
         &mut self,
         dev: &mut FlashDevice,
         lo: u64,
@@ -205,6 +234,55 @@ impl CiProbe<'_> {
             out.push(self.index.decode_level(&self.payload, level));
         }
         Ok(out)
+    }
+
+    /// Range probe decoding **several levels from one traversal**: for keys
+    /// in `[lo, hi]`, `out[i]` holds one sorted sublist per matching entry
+    /// for `levels[i]` — exactly what per-level
+    /// [`lookup_range`](Self::lookup_range) calls would return, but every
+    /// qualifying leaf entry is visited once and all requested levels are
+    /// decoded from its payload (each leaf payload carries a descriptor per
+    /// level), so the B+-tree pages are read once instead of once per
+    /// level. This is the paper's remark that the "redundant lookup" of
+    /// Cross-Post plans "can be easily avoided in practice": the pages
+    /// touched equal those of a *single* per-level scan, independent of
+    /// `levels.len()` (the differential suite pins both properties down).
+    pub fn lookup_range_multi(
+        &mut self,
+        dev: &mut FlashDevice,
+        lo: u64,
+        hi: u64,
+        levels: &[usize],
+    ) -> Result<Vec<Vec<IdList>>> {
+        for &level in levels {
+            self.check_level(level)?;
+        }
+        let index = self.index;
+        // NB: not `vec![Vec::with_capacity(..); n]` — Vec::clone does not
+        // preserve capacity, which would silently drop the hint for all
+        // but one slot.
+        let hint = self.range_capacity_hint(lo, hi);
+        let mut out: Vec<Vec<IdList>> = (0..levels.len())
+            .map(|_| Vec::with_capacity(hint))
+            .collect();
+        self.cursor.scan_range(dev, lo, hi, |_key, payload| {
+            for (slot, &level) in out.iter_mut().zip(levels) {
+                slot.push(index.decode_level(payload, level));
+            }
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Pre-size hint for range-scan output vectors: matching entries are
+    /// bounded by both the distinct-key count and the key-range width (so
+    /// equality and narrow probes stay allocation-free), capped so wide
+    /// scans over huge indexes don't over-allocate. Shaves the
+    /// doubling-realloc churn off wide scans (the multi-level microbench
+    /// pushes ~12k descriptors per level per pass).
+    fn range_capacity_hint(&self, lo: u64, hi: u64) -> usize {
+        let width = hi.saturating_sub(lo).saturating_add(1);
+        (self.index.distinct().min(width) as usize).min(16 * 1024)
     }
 }
 
@@ -381,6 +459,233 @@ mod tests {
                 batched_io.pages_read <= scalar_io.pages_read,
                 "batched run must not read more pages"
             );
+        }
+    }
+
+    #[test]
+    fn multi_level_range_matches_per_level_scans() {
+        let schema = paper_synthetic_schema(1, 1);
+        let (mut dev, mut alloc, ram) = setup();
+        let b = tiny_builder(&schema);
+        let t12 = schema.table_id("T12").unwrap();
+        let keys: Vec<u64> = (0..4).map(|r| r as u64).collect();
+        let ci = b
+            .build_climbing(
+                &mut dev,
+                &mut alloc,
+                ClimbingSpec {
+                    table: t12,
+                    column: "h1",
+                    keys: &keys,
+                    levels: LevelSpec::FullClimb,
+                    exact: true,
+                },
+            )
+            .unwrap();
+        assert_eq!(ci.levels.len(), 3);
+        let levels = [0usize, 1, 2];
+        for (lo, hi) in [(0u64, 3u64), (1, 2), (2, 2), (3, 9), (5, 9), (2, 1)] {
+            let mut multi_probe = ci.probe(&ram).unwrap();
+            let snap = dev.snapshot();
+            let multi = multi_probe
+                .lookup_range_multi(&mut dev, lo, hi, &levels)
+                .unwrap();
+            let multi_io = dev.stats_since(&snap);
+            drop(multi_probe);
+            let mut single_io_max = 0u64;
+            for (i, &level) in levels.iter().enumerate() {
+                let mut probe = ci.probe(&ram).unwrap();
+                let snap = dev.snapshot();
+                let single = probe.lookup_range(&mut dev, lo, hi, level).unwrap();
+                single_io_max = single_io_max.max(dev.stats_since(&snap).pages_read);
+                assert_eq!(multi[i], single, "range [{lo},{hi}] level {level}");
+            }
+            // The whole point: decoding three levels costs the pages of one
+            // single-level scan, not three.
+            assert_eq!(
+                multi_io.pages_read, single_io_max,
+                "range [{lo},{hi}]: multi traversal must read exactly one scan's pages"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_reference_matches_optimised_range_scan() {
+        let schema = paper_synthetic_schema(1, 1);
+        let (mut dev, mut alloc, ram) = setup();
+        let b = tiny_builder(&schema);
+        let t1 = schema.table_id("T1").unwrap();
+        let keys: Vec<u64> = (0..20).map(|r| (r % 10) as u64).collect();
+        let ci = b
+            .build_climbing(
+                &mut dev,
+                &mut alloc,
+                ClimbingSpec {
+                    table: t1,
+                    column: "h1",
+                    keys: &keys,
+                    levels: LevelSpec::FullClimb,
+                    exact: true,
+                },
+            )
+            .unwrap();
+        for (lo, hi) in [(0u64, 9u64), (3, 6), (4, 4), (8, 2), (11, 40)] {
+            for level in 0..ci.levels.len() {
+                let mut fast = ci.probe(&ram).unwrap();
+                let snap = dev.snapshot();
+                let got = fast.lookup_range(&mut dev, lo, hi, level).unwrap();
+                let fast_io = dev.stats_since(&snap);
+                drop(fast);
+                let mut naive = ci.probe(&ram).unwrap();
+                let snap = dev.snapshot();
+                let want = naive.naive_lookup_range(&mut dev, lo, hi, level).unwrap();
+                let naive_io = dev.stats_since(&snap);
+                assert_eq!(got, want, "[{lo},{hi}] level {level}");
+                if lo <= hi {
+                    assert_eq!(fast_io, naive_io, "[{lo},{hi}] level {level}: same pages");
+                } else {
+                    // Inverted bounds (a malformed Between): the scan
+                    // rejects before touching flash, the naive path still
+                    // pays its descent.
+                    assert_eq!(fast_io.pages_read, 0, "[{lo},{hi}]: early exit");
+                    assert!(fast_io.pages_read <= naive_io.pages_read);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_inverted_ranges_yield_no_sublists() {
+        let schema = paper_synthetic_schema(1, 1);
+        let (mut dev, mut alloc, ram) = setup();
+        let b = tiny_builder(&schema);
+        let t2 = schema.table_id("T2").unwrap();
+        // Keys 0, 10, 20, … 90: gaps to aim empty ranges at.
+        let keys: Vec<u64> = (0..10).map(|r| r as u64 * 10).collect();
+        let ci = b
+            .build_climbing(
+                &mut dev,
+                &mut alloc,
+                ClimbingSpec {
+                    table: t2,
+                    column: "h1",
+                    keys: &keys,
+                    levels: LevelSpec::FullClimb,
+                    exact: true,
+                },
+            )
+            .unwrap();
+        let mut probe = ci.probe(&ram).unwrap();
+        // Empty range between two present keys.
+        assert!(probe.lookup_range(&mut dev, 11, 19, 0).unwrap().is_empty());
+        // Empty range past the last key.
+        assert!(probe.lookup_range(&mut dev, 91, 999, 0).unwrap().is_empty());
+        // Inverted bounds are rejected cleanly: no error, no sublists.
+        assert!(probe.lookup_range(&mut dev, 30, 10, 0).unwrap().is_empty());
+        let multi = probe.lookup_range_multi(&mut dev, 30, 10, &[0, 1]).unwrap();
+        assert_eq!(multi.len(), 2);
+        assert!(multi.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn max_level_probe_works_and_overflow_errors() {
+        let schema = paper_synthetic_schema(1, 1);
+        let (mut dev, mut alloc, ram) = setup();
+        let b = tiny_builder(&schema);
+        let t12 = schema.table_id("T12").unwrap();
+        let keys: Vec<u64> = (0..4).map(|r| r as u64).collect();
+        let ci = b
+            .build_climbing(
+                &mut dev,
+                &mut alloc,
+                ClimbingSpec {
+                    table: t12,
+                    column: "h1",
+                    keys: &keys,
+                    levels: LevelSpec::FullClimb,
+                    exact: true,
+                },
+            )
+            .unwrap();
+        let max = ci.levels.len() - 1; // the root level
+        let mut probe = ci.probe(&ram).unwrap();
+        let lists = probe.lookup_range(&mut dev, 0, 3, max).unwrap();
+        assert_eq!(lists.len(), 4);
+        // Every T0 row joins some T12 row, so the root sublists cover T0.
+        assert_eq!(lists.iter().map(|l| l.count).sum::<u64>(), 40);
+        // One past the top level errors on both paths, before any I/O.
+        assert!(probe.lookup_range(&mut dev, 0, 3, max + 1).is_err());
+        assert!(probe
+            .lookup_range_multi(&mut dev, 0, 3, &[0, max + 1])
+            .is_err());
+    }
+
+    #[test]
+    fn equal_key_run_across_leaf_boundary() {
+        let schema = paper_synthetic_schema(1, 1);
+        let (mut dev, mut alloc, ram) = setup();
+        let t0 = schema.table_id("T0").unwrap();
+        let t1 = schema.table_id("T1").unwrap();
+        let t2 = schema.table_id("T2").unwrap();
+        let t11 = schema.table_id("T11").unwrap();
+        let t12 = schema.table_id("T12").unwrap();
+        // Enough distinct keys that the B+-tree spans several leaves: with
+        // FullClimb from T1 (2 levels → 24-byte payloads) a 2 KiB page
+        // holds (2048 - 8) / 32 = 63 leaf entries.
+        let n1 = 200u64;
+        let mut rows = vec![0u64; schema.len()];
+        rows[t0] = 400;
+        rows[t1] = n1;
+        rows[t2] = 10;
+        rows[t11] = 5;
+        rows[t12] = 4;
+        let mut fks = FkData::default();
+        fks.insert(t0, t1, (0..400).map(|i| (i / 2) as u32).collect());
+        fks.insert(t0, t2, (0..400).map(|i| (i % 10) as u32).collect());
+        fks.insert(t1, t11, (0..n1).map(|i| (i % 5) as u32).collect());
+        fks.insert(t1, t12, (0..n1).map(|i| (i % 4) as u32).collect());
+        let b = IndexBuilder::new(schema.clone(), rows, fks);
+        let keys: Vec<u64> = (0..n1).collect();
+        let ci = b
+            .build_climbing(
+                &mut dev,
+                &mut alloc,
+                ClimbingSpec {
+                    table: t1,
+                    column: "h1",
+                    keys: &keys,
+                    levels: LevelSpec::SelfAndRoot,
+                    exact: true,
+                },
+            )
+            .unwrap();
+        let leaf_cap = ghostdb_storage::btree::BTree::leaf_capacity(
+            dev.page_size(),
+            ci.levels.len() * LEVEL_DESC_BYTES,
+        ) as u64;
+        assert!(n1 > leaf_cap, "index must span more than one leaf");
+        let boundary = leaf_cap - 1; // last key of the first leaf
+                                     // An ascending probe run holding *equal* keys at and across the
+                                     // boundary: the repeated keys re-resolve inside the buffered leaf,
+                                     // then the run steps into the next leaf.
+        let probes: Vec<u64> = vec![
+            boundary,
+            boundary,
+            boundary, // equal run ending leaf 0
+            boundary + 1,
+            boundary + 1, // equal run opening leaf 1
+            boundary + 2,
+        ];
+        for level in 0..ci.levels.len() {
+            let mut scalar = ci.probe(&ram).unwrap();
+            let mut expect = Vec::new();
+            for &k in &probes {
+                expect.push(scalar.lookup_eq(&mut dev, k, level).unwrap().unwrap());
+            }
+            drop(scalar);
+            let mut batched = ci.probe(&ram).unwrap();
+            let got = batched.lookup_eq_run(&mut dev, &probes, level).unwrap();
+            assert_eq!(got, expect, "level {level}");
         }
     }
 

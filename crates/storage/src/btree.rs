@@ -400,6 +400,75 @@ impl BTreeCursor {
             _ => Ok(false),
         }
     }
+
+    /// Position at the first entry with `key ≥ target`, reusing the cached
+    /// leaf when it already covers `target` — the same fast path as
+    /// [`lookup_ascending_into`](Self::lookup_ascending_into), shared by
+    /// range scans so consecutive ascending scans on one cursor skip the
+    /// root-to-leaf descent entirely (zero I/O, zero internal-node work).
+    /// Identical position and identical pages read either way — the fast
+    /// path only elides work on pages a full [`seek`](Self::seek) would
+    /// find cached.
+    pub fn seek_ascending(&mut self, dev: &mut FlashDevice, target: u64) -> Result<()> {
+        if self.pages[0].is_some() && self.node_kind(0) == KIND_LEAF {
+            let count = self.node_count(0);
+            if count > 0 && self.leaf_key(0) <= target && target <= self.leaf_key(count - 1) {
+                self.leaf_page = self.pages[0];
+                self.leaf_pos = self.leaf_lower_bound(target);
+                return Ok(());
+            }
+        }
+        self.seek(dev, target)
+    }
+
+    /// Single-traversal range scan: hand every `(key, payload)` with
+    /// `lo ≤ key ≤ hi` to `visit`, in ascending key order, touching each
+    /// qualifying leaf entry exactly once. The payload slice borrows the
+    /// leaf buffer directly (no per-entry copy), so a caller can decode
+    /// several independent views of one payload from a single traversal —
+    /// the climbing-index multi-level read path is built on this.
+    ///
+    /// Positioning goes through [`seek_ascending`](Self::seek_ascending),
+    /// so a scan continuing past an earlier ascending probe or scan reuses
+    /// the buffered leaf. An inverted range (`hi < lo`) visits nothing.
+    pub fn scan_range(
+        &mut self,
+        dev: &mut FlashDevice,
+        lo: u64,
+        hi: u64,
+        mut visit: impl FnMut(u64, &[u8]) -> Result<()>,
+    ) -> Result<()> {
+        if hi < lo {
+            return Ok(());
+        }
+        self.seek_ascending(dev, lo)?;
+        let Some(mut page) = self.leaf_page else {
+            return Ok(());
+        };
+        loop {
+            self.load(dev, 0, page)?;
+            let count = self.node_count(0);
+            while self.leaf_pos < count {
+                let key = self.leaf_key(self.leaf_pos);
+                if key > hi {
+                    return Ok(());
+                }
+                visit(key, self.leaf_payload(self.leaf_pos))?;
+                self.leaf_pos += 1;
+            }
+            match self.leaf_next() {
+                Some(next) => {
+                    page = next;
+                    self.leaf_page = Some(next);
+                    self.leaf_pos = 0;
+                }
+                None => {
+                    self.leaf_page = None;
+                    return Ok(());
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -562,6 +631,95 @@ mod tests {
                 .lookup_ascending_into(&mut dev, probe, &mut payload)
                 .unwrap());
         }
+        assert_eq!(dev.stats_since(&snap).pages_read, 0);
+    }
+
+    /// Reference: keys in [lo, hi] via seek + next_into (the pre-scan_range
+    /// traversal), for differential checks below.
+    fn range_by_cursor(
+        dev: &mut FlashDevice,
+        tree: &BTree,
+        ram: &RamArena,
+        lo: u64,
+        hi: u64,
+    ) -> Vec<(u64, Vec<u8>)> {
+        let mut cur = tree.cursor(ram).unwrap();
+        let mut payload = vec![0u8; tree.payload_size()];
+        let mut out = Vec::new();
+        cur.seek(dev, lo).unwrap();
+        while let Some(k) = cur.next_into(dev, &mut payload).unwrap() {
+            if k > hi {
+                break;
+            }
+            out.push((k, payload.clone()));
+        }
+        out
+    }
+
+    #[test]
+    fn scan_range_matches_seek_next_loop() {
+        let (mut dev, mut alloc, ram) = setup();
+        let tree = build(&mut dev, &mut alloc, 20_000, 3);
+        for (lo, hi) in [
+            (0u64, 59_997u64), // everything
+            (0, 0),            // single key at the left edge
+            (3_000, 3_000),    // single mid key
+            (3_001, 3_002),    // empty: between keys
+            (70_000, 80_000),  // empty: past the last key
+            (2_997, 30_003),   // leaf-boundary-spanning slice
+            (10, 3),           // inverted
+        ] {
+            let want = range_by_cursor(&mut dev, &tree, &ram, lo, hi);
+            let mut cur = tree.cursor(&ram).unwrap();
+            let mut got = Vec::new();
+            cur.scan_range(&mut dev, lo, hi, |k, p| {
+                got.push((k, p.to_vec()));
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(got, want, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn scan_range_reads_each_page_at_most_once() {
+        let (mut dev, mut alloc, ram) = setup();
+        let tree = build(&mut dev, &mut alloc, 20_000, 1);
+        let mut cur = tree.cursor(&ram).unwrap();
+        let snap = dev.snapshot();
+        let mut n = 0u64;
+        cur.scan_range(&mut dev, 100, 18_000, |_, _| {
+            n += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 17_901);
+        let leaf_cap = BTree::leaf_capacity(dev.page_size(), 4) as u64;
+        let leaves_spanned = 18_000 / leaf_cap - 100 / leaf_cap + 1;
+        let read = dev.stats_since(&snap).pages_read;
+        assert!(
+            read <= leaves_spanned + tree.height() as u64,
+            "read {read} pages for {leaves_spanned} leaves + descent"
+        );
+    }
+
+    #[test]
+    fn ascending_rescan_reuses_cached_leaf() {
+        let (mut dev, mut alloc, ram) = setup();
+        let tree = build(&mut dev, &mut alloc, 50_000, 1);
+        let mut cur = tree.cursor(&ram).unwrap();
+        cur.scan_range(&mut dev, 1_000, 1_003, |_, _| Ok(()))
+            .unwrap();
+        // A second scan inside the same leaf must not touch flash at all:
+        // seek_ascending resolves it on the buffered page.
+        let snap = dev.snapshot();
+        let mut n = 0u64;
+        cur.scan_range(&mut dev, 1_005, 1_010, |_, _| {
+            n += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 6);
         assert_eq!(dev.stats_since(&snap).pages_read, 0);
     }
 

@@ -4,7 +4,9 @@
 //! the `proptest!` / `prop_oneof!` / `prop_assert*!` / `prop_assume!`
 //! macros, the [`strategy::Strategy`] trait with `prop_map`, range / tuple /
 //! `any` / `option::of` / `collection::vec` strategies, and a deterministic
-//! seeded runner. There is **no shrinking**: a failing case panics with the
+//! seeded runner honouring the `PROPTEST_CASES` environment variable (which
+//! here overrides even explicit `with_cases` counts, so CI can deepen every
+//! suite at once). There is **no shrinking**: a failing case panics with the
 //! `Debug` rendering of its inputs. See `vendor/README.md`.
 
 pub mod strategy;

@@ -9,16 +9,34 @@ pub struct ProptestConfig {
     pub cases: u32,
 }
 
+/// The `PROPTEST_CASES` environment override, like real proptest's
+/// env-driven config. Unlike upstream it also overrides explicit
+/// [`ProptestConfig::with_cases`] counts, so a CI job can deepen every
+/// suite (`PROPTEST_CASES=1024 cargo test …`) without code changes; the
+/// in-source count is the default when the variable is unset or garbage.
+fn env_cases() -> Option<u32> {
+    // A zero (or unparsable) override is ignored rather than letting every
+    // suite pass vacuously with no cases executed.
+    std::env::var("PROPTEST_CASES")
+        .ok()?
+        .parse()
+        .ok()
+        .filter(|&c| c > 0)
+}
+
 impl ProptestConfig {
-    /// Config running `cases` cases per property.
+    /// Config running `cases` cases per property (`PROPTEST_CASES` wins
+    /// when set — see [`env_cases`]).
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig::with_cases(256)
     }
 }
 
