@@ -7,7 +7,7 @@
 //! ```text
 //! perfbench [--smoke] [--out BENCH.json] [--scale F] [--scale2 F]
 //!           [--medical-scale F] [--iters N] [--threads N]
-//!           [--intra-threads N] [--spill-policy P]
+//!           [--intra-threads N] [--spill-policy P] [--padded]
 //! perfbench --check BENCH.json
 //! perfbench --compare A.json B.json [--tolerance PCT] [--exact]
 //! ```
@@ -58,7 +58,7 @@ perfbench — wall-clock performance baseline emitting BENCH.json
 USAGE:
     perfbench [--smoke] [--out PATH] [--scale F] [--scale2 F]
               [--medical-scale F] [--iters N] [--threads N]
-              [--intra-threads N] [--spill-policy P]
+              [--intra-threads N] [--spill-policy P] [--padded]
     perfbench --check PATH
     perfbench --compare PATH PATH [--tolerance PCT] [--exact]
 
@@ -85,6 +85,11 @@ OPTIONS:
     --spill-policy P   reduction-phase spill policy: widest-smallest
                        (default) or global-smallest-k; recorded in the
                        document so alternatives A/B by number
+    --padded           run the query sweeps with volume-padded Vis
+                       shipments (power-of-two row buckets, the SECURITY.md
+                       countermeasure); recorded in the document. The
+                       dedicated synthetic-padded/ exact-vs-pow2 pairs run
+                       in every document regardless of this flag
     --check PATH       validate an existing BENCH.json and exit
     --compare A B      validate two BENCH.json files and fail if their
                        scenario names drift (parallel vs serial harness)
@@ -113,6 +118,7 @@ struct Opts {
     threads: usize,
     intra_threads: usize,
     spill: SpillPolicy,
+    padded: bool,
     check: Option<String>,
     compare: Option<(String, String)>,
     tolerance: Option<f64>,
@@ -146,6 +152,7 @@ fn parse_args() -> Opts {
         threads: 1,
         intra_threads: 1,
         spill: SpillPolicy::WidestSmallest,
+        padded: false,
         check: None,
         compare: None,
         tolerance: None,
@@ -213,6 +220,10 @@ fn parse_args() -> Opts {
                     ))
                 });
                 i += 2;
+            }
+            "--padded" => {
+                opts.padded = true;
+                i += 1;
             }
             "--tolerance" => {
                 opts.tolerance = Some(parse_nonnegative("--tolerance", &value_of(&args, i)));
@@ -402,7 +413,13 @@ fn synthetic_scenarios(
             eprintln!("perfbench: {name}");
             measure(name, warmup, iters, || {
                 report_stats(&run_with_tuned(
-                    db, &q, strategy, algo, tune.intra, tune.spill,
+                    db,
+                    &q,
+                    strategy,
+                    algo,
+                    tune.intra,
+                    tune.spill,
+                    tune.padded,
                 ))
             })
         },
@@ -437,6 +454,7 @@ fn zipf_scenarios(
                     ProjectAlgo::Project,
                     tune.intra,
                     tune.spill,
+                    tune.padded,
                 ))
             })
         },
@@ -474,6 +492,54 @@ fn hicard_scenarios(
                     ProjectAlgo::Project,
                     tune.intra,
                     tune.spill,
+                    tune.padded,
+                ))
+            })
+        },
+    ));
+}
+
+/// Exact-vs-pow2 padding A/B pairs: the same Cross query at sV = 0.1 run
+/// once with exact-volume Vis shipments and once with the power-of-two
+/// padded mode (the SECURITY.md wire-volume countermeasure), so every
+/// BENCH.json carries the padding overhead regardless of `--padded`. The
+/// pad mode is set per point here, independent of `tune.padded`.
+fn padded_scenarios(
+    scale: f64,
+    warmup: usize,
+    iters: usize,
+    tune: Tuning,
+    out: &mut Vec<BenchEntry>,
+) {
+    let points = [
+        (VisStrategy::CrossPre, false),
+        (VisStrategy::CrossPre, true),
+        (VisStrategy::CrossPost, false),
+        (VisStrategy::CrossPost, true),
+    ];
+    out.extend(sweep(
+        &format!("synthetic-padded x{scale}"),
+        points.len(),
+        tune.threads,
+        || build_synthetic(scale),
+        |(ds, db), i| {
+            let (strategy, padded) = points[i];
+            let q = query_q(ds, db, 0.1, false);
+            let name = format!(
+                "synthetic-padded/x{scale}/{}/{}",
+                strategy.name(),
+                if padded { "pow2" } else { "exact" }
+            );
+            eprintln!("perfbench: {name}");
+            measure(name, warmup, iters, || {
+                report_stats(&run_with_tuned(
+                    db,
+                    &q,
+                    strategy,
+                    ProjectAlgo::Project,
+                    tune.intra,
+                    tune.spill,
+                    padded,
                 ))
             })
         },
@@ -506,6 +572,7 @@ fn medical_scenarios(
                     ProjectAlgo::Project,
                     tune.intra,
                     tune.spill,
+                    tune.padded,
                 ))
             })
         },
@@ -916,6 +983,7 @@ struct Tuning {
     threads: usize,
     intra: usize,
     spill: SpillPolicy,
+    padded: bool,
 }
 
 fn main() {
@@ -934,6 +1002,7 @@ fn main() {
         threads,
         intra: opts.intra_threads,
         spill: opts.spill,
+        padded: opts.padded,
     };
     eprintln!(
         "perfbench: mode {mode}, {iters} timed iterations per scenario \
@@ -950,6 +1019,7 @@ fn main() {
     }
     zipf_scenarios(opts.scale, warmup, iters, tune, &mut entries);
     hicard_scenarios(opts.scale, warmup, iters, tune, &mut entries);
+    padded_scenarios(opts.scale, warmup, iters, tune, &mut entries);
     medical_scenarios(opts.medical_scale, warmup, iters, tune, &mut entries);
 
     eprintln!("perfbench: operator microbenches...");
@@ -960,7 +1030,14 @@ fn main() {
     micro_ci_multi(warmup, iters, &mut entries);
     micro_sjoin(opts.scale, warmup, iters, &mut entries);
 
-    let doc = bench_doc(mode, threads, tune.intra, tune.spill.name(), &entries);
+    let doc = bench_doc(
+        mode,
+        threads,
+        tune.intra,
+        tune.spill.name(),
+        tune.padded,
+        &entries,
+    );
     let summary = check_bench(&doc).unwrap_or_else(|e| {
         eprintln!("perfbench: generated document violates its own schema: {e}");
         std::process::exit(1);

@@ -334,6 +334,12 @@ pub fn check_bench(doc: &Json) -> Result<BenchSummary, String> {
             .filter(|p| *p == "widest-smallest" || *p == "global-smallest-k")
             .ok_or("spill_policy must be \"widest-smallest\" or \"global-smallest-k\"")?;
     }
+    // `padded` arrived with the volume-padding mode; absent in older docs.
+    if let Some(p) = doc.get("padded") {
+        if !matches!(p, Json::Bool(_)) {
+            return Err("padded must be a boolean".into());
+        }
+    }
     let entries = doc
         .get("entries")
         .and_then(Json::as_arr)
@@ -697,6 +703,10 @@ mod tests {
         ))
         .is_ok());
         assert!(check_bench(&with_field("spill_policy", Json::Str("bogus".into()))).is_err());
+        assert!(check_bench(&with_field("padded", Json::Bool(true))).is_ok());
+        assert!(check_bench(&with_field("padded", Json::Bool(false))).is_ok());
+        assert!(check_bench(&with_field("padded", Json::Num(1.0))).is_err());
+        assert!(check_bench(&with_field("padded", Json::Str("yes".into()))).is_err());
     }
 
     #[test]

@@ -104,12 +104,14 @@ pub fn run_with(
     strategy: VisStrategy,
     algo: ProjectAlgo,
 ) -> ExecReport {
-    run_with_tuned(db, q, strategy, algo, 1, SpillPolicy::default())
+    run_with_tuned(db, q, strategy, algo, 1, SpillPolicy::default(), false)
 }
 
-/// [`run_with`] with explicit intra-query worker budget and spill policy
-/// (the `perfbench --intra-threads` / `--spill-policy` path). Simulated
-/// numbers are bit-identical across `intra` values; only wall time moves.
+/// [`run_with`] with explicit intra-query worker budget, spill policy and
+/// volume-padding mode (the `perfbench --intra-threads` / `--spill-policy`
+/// / `--padded` path). Simulated numbers are bit-identical across `intra`
+/// values; `padded` inflates the channel cost (its overhead is exactly
+/// what the `*-padded/` scenarios quantify) without changing results.
 pub fn run_with_tuned(
     db: &mut Database,
     q: &SpjQuery,
@@ -117,6 +119,7 @@ pub fn run_with_tuned(
     algo: ProjectAlgo,
     intra: usize,
     spill: SpillPolicy,
+    padded: bool,
 ) -> ExecReport {
     let opts = ExecOptions {
         strategies: vec![],
@@ -124,6 +127,7 @@ pub fn run_with_tuned(
         project: Some(algo),
         intra_threads: intra,
         spill_policy: spill,
+        padded,
     };
     let (_, report) = Executor::run(db, q, &opts).expect("query runs");
     report

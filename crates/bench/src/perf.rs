@@ -78,13 +78,17 @@ pub fn measure(
 /// Assemble the BENCH.json document. `threads` records how many worker
 /// threads the query sweeps fanned across (1 = the serial harness),
 /// `intra_threads` how many lanes each query fanned its own operators
-/// across, and `spill_policy` the reduction-phase policy in force — the
-/// knobs whose A/B numbers the document exists to carry.
+/// across, `spill_policy` the reduction-phase policy in force, and
+/// `padded` whether the query sweeps ran with volume-padded shipments —
+/// the knobs whose A/B numbers the document exists to carry. (The
+/// dedicated `synthetic-padded/…` scenarios carry both pad modes in every
+/// document; `padded` records the mode of the *main* sweeps.)
 pub fn bench_doc(
     mode: &str,
     threads: usize,
     intra_threads: usize,
     spill_policy: &str,
+    padded: bool,
     entries: &[BenchEntry],
 ) -> Json {
     Json::Obj(vec![
@@ -94,6 +98,7 @@ pub fn bench_doc(
         ("threads".into(), Json::Num(threads as f64)),
         ("intra_threads".into(), Json::Num(intra_threads as f64)),
         ("spill_policy".into(), Json::Str(spill_policy.into())),
+        ("padded".into(), Json::Bool(padded)),
         (
             "entries".into(),
             Json::Arr(entries.iter().map(BenchEntry::to_json).collect()),
@@ -140,7 +145,7 @@ mod tests {
                 bytes_io: 0,
             }))
             .collect();
-        let doc = bench_doc("smoke", 2, 2, "widest-smallest", &entries);
+        let doc = bench_doc("smoke", 2, 2, "widest-smallest", false, &entries);
         let text = doc.render();
         let parsed = Json::parse(&text).unwrap();
         crate::json::check_bench(&parsed).unwrap();

@@ -9,7 +9,9 @@ use ghostdb_exec::database::{ColumnLoad, Database, TableLoad};
 use ghostdb_exec::project::ProjectAlgo;
 use ghostdb_exec::query::analyze;
 use ghostdb_exec::strategy::{VisDecision, VisStrategy};
-use ghostdb_exec::{optimizer, ExecCtx, ExecOptions, ExecReport, Executor, ResultSet, SpjQuery};
+use ghostdb_exec::{
+    optimizer, ExecCtx, ExecOptions, ExecReport, Executor, HostTrace, ResultSet, SpjQuery,
+};
 use ghostdb_storage::schema::{Column, SchemaTree, TableDef, Visibility};
 use ghostdb_storage::{Id, Value};
 use ghostdb_token::TokenConfig;
@@ -50,6 +52,10 @@ pub struct QueryOptions {
     /// Intra-query worker lanes (`None` = serial; results and reports are
     /// bit-identical at any value).
     pub intra_threads: Option<usize>,
+    /// Pad every visible shipment to a power-of-two row bucket (the volume
+    /// side-channel countermeasure; see `SECURITY.md`). Results are
+    /// unchanged; the padding bytes show up in the report's channel cost.
+    pub padded: bool,
 }
 
 /// A GhostDB instance: schema staging, the loaded database, and the two
@@ -270,6 +276,7 @@ impl GhostDb {
             forced_strategy: opts.strategy,
             project: opts.project,
             intra_threads: opts.intra_threads.unwrap_or(1),
+            padded: opts.padded,
             ..Default::default()
         })
     }
@@ -343,6 +350,18 @@ impl GhostDb {
             .as_ref()
             .ok_or_else(|| CoreError::Semantic("no data loaded".into()))?;
         Ok(audit_transcript(db.token.channel.transcript()))
+    }
+
+    /// The host-observable trace of the last query: every store request
+    /// the engine made of the untrusted PC, with shapes and post-padding
+    /// wire volumes. The leakage suite asserts its invariants; see
+    /// `SECURITY.md`.
+    pub fn host_trace(&self) -> Result<HostTrace> {
+        let db = self
+            .db
+            .as_ref()
+            .ok_or_else(|| CoreError::Semantic("no data loaded".into()))?;
+        Ok(db.untrusted.trace())
     }
 
     /// Access the assembled database (benchmarks, tests).

@@ -50,7 +50,7 @@ pub use db::{GhostDb, GhostDbConfig, QueryOptions};
 pub use error::CoreError;
 pub use ghostdb_exec::project::ProjectAlgo;
 pub use ghostdb_exec::strategy::VisStrategy as Strategy;
-pub use ghostdb_exec::{ExecReport, ResultSet};
+pub use ghostdb_exec::{ExecReport, HostOp, HostTrace, HostTraceEvent, ResultSet};
 
 /// Result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -50,7 +50,8 @@ pub fn select_sublists(
 /// a **single** B+-tree traversal — the paper's remark that the "redundant
 /// lookup" of Cross-Post plans "can be easily avoided in practice", since
 /// every leaf payload carries all levels. Each qualifying leaf entry is
-/// visited once ([`CiProbe::lookup_range_multi`]) and all requested levels
+/// visited once (`CiProbe::lookup_range_multi` in `ghostdb_index`) and all
+/// requested levels
 /// decode from its payload, so the flash pages charged to `OpKind::Ci`
 /// equal those of *one* per-level scan, independent of `targets.len()`.
 ///

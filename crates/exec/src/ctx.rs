@@ -33,7 +33,7 @@ use ghostdb_flash::{FlashDevice, FlashStats, FlashTiming, Segment, SegmentAlloca
 use ghostdb_index::{ClimbingIndex, SubtreeKeyTable};
 use ghostdb_storage::{HiddenImage, Predicate, SchemaTree, TableId};
 use ghostdb_token::{Channel, RamArena};
-use ghostdb_untrusted::{UntrustedHost, VisShipment};
+use ghostdb_untrusted::{PadMode, UntrustedHost, VisShipment};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -352,6 +352,9 @@ pub struct ExecCtx<'a, 'd> {
     pub intra: usize,
     /// Reduction-phase spill policy.
     pub spill: SpillPolicy,
+    /// Pad every `Vis` shipment to a power-of-two row bucket (the volume
+    /// side-channel countermeasure; see `SECURITY.md`).
+    pub padded: bool,
     channel: Option<&'a mut Channel>,
     /// Open `track`/`track_rw` scopes; guards the run_lanes nesting rule.
     track_depth: u32,
@@ -378,6 +381,7 @@ impl<'a> ExecCtx<'a, 'a> {
             cost: CostScope::new(),
             intra: 1,
             spill: SpillPolicy::default(),
+            padded: false,
             channel: Some(&mut token.channel),
             track_depth: 0,
         }
@@ -419,7 +423,8 @@ impl<'a, 'd> ExecCtx<'a, 'd> {
     }
 
     /// `Vis(Q, T, π)`: ship the sorted visible ids (+ `projection` values)
-    /// of `t` under `preds`. Root lane only.
+    /// of `t` under `preds`, padded to a power-of-two row bucket when the
+    /// context runs in padded mode. Root lane only.
     pub fn vis(
         &mut self,
         t: TableId,
@@ -428,8 +433,13 @@ impl<'a, 'd> ExecCtx<'a, 'd> {
     ) -> Result<VisShipment> {
         let name = self.cat.schema.def(t).name.clone();
         let untrusted = self.cat.untrusted;
+        let pad = if self.padded {
+            PadMode::PowerOfTwo
+        } else {
+            PadMode::Exact
+        };
         let channel = self.channel()?;
-        Ok(untrusted.vis(channel, t, &name, preds, projection)?)
+        Ok(untrusted.vis_with(channel, t, &name, preds, projection, pad)?)
     }
 
     /// Run `f` attributing all flash time **this lane** causes to `op`.
@@ -597,6 +607,7 @@ impl<'a, 'd> ExecCtx<'a, 'd> {
         }
         let cat = self.cat;
         let spill = self.spill;
+        let padded = self.padded;
         let arena = self.lane.ram();
         // GC placement is the one scheduling-dependent cost in the FTL: if
         // garbage collection fires while workers interleave writes, victim
@@ -633,6 +644,7 @@ impl<'a, 'd> ExecCtx<'a, 'd> {
                         // parallelism keeps scheduling analysable.
                         intra: 1,
                         spill,
+                        padded,
                         channel: None,
                         track_depth: 0,
                     };

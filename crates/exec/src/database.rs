@@ -232,10 +232,12 @@ impl Database {
         self.cis.get(&(t, column.to_string()))
     }
 
-    /// Reset per-query observability state: channel transcript and counters.
-    /// Flash stats are monotone; the executor snapshots them instead.
+    /// Reset per-query observability state: channel transcript, counters
+    /// and the host-observable trace. Flash stats are monotone; the
+    /// executor snapshots them instead.
     pub fn begin_query(&mut self) {
         self.token.channel.reset();
+        self.untrusted.reset_trace();
     }
 }
 

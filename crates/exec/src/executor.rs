@@ -28,6 +28,11 @@ pub struct ExecOptions {
     pub intra_threads: usize,
     /// Reduction-phase spill policy (`merge::reduce`).
     pub spill_policy: SpillPolicy,
+    /// Pad every `Vis` shipment to a power-of-two row bucket, quantising
+    /// the wire volume a snooper observes (results are unchanged; the
+    /// filler bytes are charged to the channel, so reports carry the
+    /// padding overhead). See `SECURITY.md`.
+    pub padded: bool,
 }
 
 impl Default for ExecOptions {
@@ -38,6 +43,7 @@ impl Default for ExecOptions {
             project: None,
             intra_threads: 1,
             spill_policy: SpillPolicy::default(),
+            padded: false,
         }
     }
 }
@@ -73,6 +79,12 @@ impl ExecOptions {
         self.spill_policy = policy;
         self
     }
+
+    /// Volume-padded `Vis` shipments (power-of-two row buckets).
+    pub fn with_padded(mut self, padded: bool) -> Self {
+        self.padded = padded;
+        self
+    }
 }
 
 /// The query executor.
@@ -93,6 +105,7 @@ impl Executor {
         let mut ctx = ExecCtx::new(db);
         ctx.intra = opts.intra_threads;
         ctx.spill = opts.spill_policy;
+        ctx.padded = opts.padded;
 
         // The query travels to the token in the clear (it is the one thing
         // an observer legitimately learns), and the token acknowledges.

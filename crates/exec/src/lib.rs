@@ -55,5 +55,9 @@ pub use result::ResultSet;
 pub use source::SharedIds;
 pub use strategy::VisStrategy;
 
+// The host-observability surface, re-exported so facade crates (and tests)
+// can audit what the untrusted side saw without a direct dependency.
+pub use ghostdb_untrusted::{HostOp, HostTrace, HostTraceEvent, PadMode};
+
 /// Result alias for execution.
 pub type Result<T> = std::result::Result<T, ExecError>;

@@ -30,7 +30,7 @@ pub fn decide(ctx: &ExecCtx<'_, '_>, a: &Analyzed) -> Result<Vec<VisDecision>> {
     let mut out = Vec::new();
     for (t, preds) in &a.vis_preds {
         let rows = ctx.cat.rows[*t].max(1);
-        let matching = ctx.cat.untrusted.store().count(*t, preds)?;
+        let matching = ctx.cat.untrusted.count(*t, preds)?;
         let sv = matching as f64 / rows as f64;
         let cross_applicable =
             *t != ctx.cat.schema.root() && !a.hidden_in_subtree(ctx.cat.schema, *t).is_empty();

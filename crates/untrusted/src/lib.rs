@@ -14,10 +14,16 @@
 //! What *is* modelled byte-for-byte is the traffic it pushes through the
 //! [`ghostdb_token::Channel`]: sorted ID lists and visible attribute values,
 //! each transfer recorded in the channel transcript the leak auditor
-//! inspects.
+//! inspects. The [`HostTrace`] widens that record to the host's own view —
+//! every store request the engine makes, with shapes and post-padding
+//! volumes — and [`PadMode`] adds the power-of-two volume padding
+//! countermeasure (see `SECURITY.md` at the repo root for the contract
+//! these two enforce).
 
 pub mod host;
 pub mod store;
+pub mod trace;
 
 pub use host::{UntrustedHost, VisShipment};
 pub use store::{VisibleColumn, VisibleStore, VisibleTable};
+pub use trace::{HostOp, HostTrace, HostTraceEvent, PadMode};

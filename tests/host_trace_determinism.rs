@@ -1,0 +1,134 @@
+//! Host-trace determinism: the sequence of requests the engine makes of
+//! the untrusted PC is a pure function of (query, visible data, pad mode).
+//! It must be bit-identical across repeated runs, across `--intra-threads`
+//! widths, and across spill policies — otherwise scheduling noise would
+//! itself be a covert channel, and the leakage suite (`tests/leakage.rs`)
+//! could pass on one machine and fail on another. All host contact happens
+//! on the root lane (workers get no channel), so any diff here means an
+//! optimized path smuggled a host request into a worker.
+
+use ghostdb_datagen::{SyntheticDataset, SyntheticSpec};
+use ghostdb_exec::project::ProjectAlgo;
+use ghostdb_exec::strategy::VisStrategy;
+use ghostdb_exec::{Database, ExecOptions, Executor, HostTrace, SpillPolicy, SpjQuery};
+
+const STRATEGIES: [VisStrategy; 7] = [
+    VisStrategy::Pre,
+    VisStrategy::CrossPre,
+    VisStrategy::Post,
+    VisStrategy::CrossPost,
+    VisStrategy::PostSelect,
+    VisStrategy::CrossPostSelect,
+    VisStrategy::NoFilter,
+];
+
+fn dataset() -> SyntheticDataset {
+    let mut spec = SyntheticSpec::paper(0.0005);
+    spec.seed = 41;
+    SyntheticDataset::generate(spec)
+}
+
+fn query(ds: &SyntheticDataset) -> SpjQuery {
+    let t0 = ds.schema.root();
+    let t1 = ds.schema.table_id("T1").expect("T1");
+    let t12 = ds.schema.table_id("T12").expect("T12");
+    let mut q = SpjQuery::new()
+        .pred(t1, ds.selectivity_pred("T1", "v1", 0.05))
+        .pred(t12, ds.selectivity_pred("T12", "h2", 0.1))
+        .project(t0, "id")
+        .project(t1, "v1")
+        .project(t12, "h1");
+    q.text = "host-trace-determinism-Q".into();
+    q
+}
+
+fn run_trace(db: &mut Database, q: &SpjQuery, opts: &ExecOptions) -> HostTrace {
+    Executor::run(db, q, opts).expect("run");
+    db.untrusted.trace()
+}
+
+/// Every strategy, padded and exact: the host trace at intra widths 2 and
+/// 4 must equal the serial trace bit for bit.
+#[test]
+fn host_trace_identical_across_intra_widths() {
+    let ds = dataset();
+    let q = query(&ds);
+    for strategy in STRATEGIES {
+        for padded in [false, true] {
+            let mut serial_db = ds.build().expect("build");
+            let serial = run_trace(
+                &mut serial_db,
+                &q,
+                &ExecOptions::with_strategy(strategy)
+                    .with_project(ProjectAlgo::Project)
+                    .with_intra_threads(1)
+                    .with_padded(padded),
+            );
+            assert!(
+                !serial.is_empty(),
+                "every query contacts the host at least once"
+            );
+            for threads in [2usize, 4] {
+                let mut db = ds.build().expect("build");
+                let got = run_trace(
+                    &mut db,
+                    &q,
+                    &ExecOptions::with_strategy(strategy)
+                        .with_project(ProjectAlgo::Project)
+                        .with_intra_threads(threads)
+                        .with_padded(padded),
+                );
+                assert_eq!(
+                    serial,
+                    got,
+                    "{}/padded={padded}/threads={threads}: host trace diverges",
+                    strategy.name()
+                );
+            }
+        }
+    }
+}
+
+/// Spill policy is a token-internal decision; it must not change what the
+/// host observes.
+#[test]
+fn host_trace_identical_across_spill_policies() {
+    let ds = dataset();
+    let q = query(&ds);
+    let mut base_db = ds.build().expect("build");
+    let base = run_trace(
+        &mut base_db,
+        &q,
+        &ExecOptions::with_strategy(VisStrategy::CrossPost)
+            .with_project(ProjectAlgo::Project)
+            .with_spill_policy(SpillPolicy::WidestSmallest),
+    );
+    let mut db = ds.build().expect("build");
+    let got = run_trace(
+        &mut db,
+        &q,
+        &ExecOptions::with_strategy(VisStrategy::CrossPost)
+            .with_project(ProjectAlgo::Project)
+            .with_spill_policy(SpillPolicy::GlobalSmallestK),
+    );
+    assert_eq!(base, got, "spill policy leaked into the host trace");
+}
+
+/// Repeated runs on fresh databases record the same trace — and a repeat
+/// on the *same* database too (each query resets the trace).
+#[test]
+fn host_trace_identical_across_repeats() {
+    let ds = dataset();
+    let q = query(&ds);
+    let opts = ExecOptions::with_strategy(VisStrategy::CrossPre)
+        .with_project(ProjectAlgo::Project)
+        .with_intra_threads(4)
+        .with_padded(true);
+    let mut db_a = ds.build().expect("build");
+    let first = run_trace(&mut db_a, &q, &opts);
+    let again_same_db = run_trace(&mut db_a, &q, &opts);
+    let mut db_b = ds.build().expect("build");
+    let fresh = run_trace(&mut db_b, &q, &opts);
+    assert_eq!(first, again_same_db, "per-query trace reset failed");
+    assert_eq!(first, fresh, "trace depends on database instance");
+}

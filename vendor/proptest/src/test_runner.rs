@@ -26,7 +26,7 @@ fn env_cases() -> Option<u32> {
 
 impl ProptestConfig {
     /// Config running `cases` cases per property (`PROPTEST_CASES` wins
-    /// when set — see [`env_cases`]).
+    /// when set — see the private `env_cases` helper).
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig {
             cases: env_cases().unwrap_or(cases),
