@@ -7,7 +7,7 @@
 //! ```text
 //! perfbench [--smoke] [--out BENCH.json] [--scale F] [--scale2 F]
 //!           [--medical-scale F] [--iters N] [--threads N]
-//!           [--intra-threads N] [--spill-policy P] [--padded]
+//!           [--intra-threads N] [--spill-policy P] [--padded] [--serve]
 //! perfbench --check BENCH.json
 //! perfbench --compare A.json B.json [--tolerance PCT] [--exact]
 //! ```
@@ -31,7 +31,7 @@
 use ghostdb_bench::json::{
     check_bench, compare_exact_sim, compare_micro_wall, compare_scenarios, Json,
 };
-use ghostdb_bench::perf::{bench_doc, measure, BenchEntry, RunStats};
+use ghostdb_bench::perf::{bench_doc, measure, percentile, BenchEntry, RunStats};
 use ghostdb_bench::{
     build_medical, build_synthetic, build_synthetic_zipf, medical_q, query_q, run_with_tuned,
 };
@@ -43,7 +43,9 @@ use ghostdb_exec::project::ProjectAlgo;
 use ghostdb_exec::sjoin::sjoin_stream;
 use ghostdb_exec::source::{IdSource, NaiveUnionStream, UnionStream};
 use ghostdb_exec::strategy::VisStrategy;
-use ghostdb_exec::{ExecCtx, ExecReport, SpillPolicy};
+use ghostdb_exec::{
+    CiPrefetch, ExecCtx, ExecOptions, ExecReport, GhostDbServer, ServeConfig, SpillPolicy,
+};
 use ghostdb_flash::{FlashDevice, FlashGeometry, FlashTiming, SegmentAllocator};
 use ghostdb_index::{ClimbingSpec, FkData, IndexBuilder, LevelSpec};
 use ghostdb_storage::idlist::write_id_list;
@@ -51,6 +53,7 @@ use ghostdb_storage::schema::paper_synthetic_schema;
 use ghostdb_storage::Id;
 use ghostdb_token::RamArena;
 use std::sync::Arc;
+use std::time::Instant;
 
 const USAGE: &str = "\
 perfbench — wall-clock performance baseline emitting BENCH.json
@@ -58,7 +61,7 @@ perfbench — wall-clock performance baseline emitting BENCH.json
 USAGE:
     perfbench [--smoke] [--out PATH] [--scale F] [--scale2 F]
               [--medical-scale F] [--iters N] [--threads N]
-              [--intra-threads N] [--spill-policy P] [--padded]
+              [--intra-threads N] [--spill-policy P] [--padded] [--serve]
     perfbench --check PATH
     perfbench --compare PATH PATH [--tolerance PCT] [--exact]
 
@@ -90,6 +93,13 @@ OPTIONS:
                        countermeasure); recorded in the document. The
                        dedicated synthetic-padded/ exact-vs-pow2 pairs run
                        in every document regardless of this flag
+    --serve            add the serve-mode family: a closed-loop load
+                       generator driving a `GhostDbServer` (sessions ×
+                       batching on/off, deterministic arrival order) whose
+                       `serve/…` entries carry per-query p50/p95/p99
+                       submit→outcome latencies, plus the
+                       micro/serve/batch-vs-solo isolation pair. Always
+                       serial (the server is the concurrency)
     --check PATH       validate an existing BENCH.json and exit
     --compare A B      validate two BENCH.json files and fail if their
                        scenario names drift (parallel vs serial harness)
@@ -119,6 +129,7 @@ struct Opts {
     intra_threads: usize,
     spill: SpillPolicy,
     padded: bool,
+    serve: bool,
     check: Option<String>,
     compare: Option<(String, String)>,
     tolerance: Option<f64>,
@@ -153,6 +164,7 @@ fn parse_args() -> Opts {
         intra_threads: 1,
         spill: SpillPolicy::WidestSmallest,
         padded: false,
+        serve: false,
         check: None,
         compare: None,
         tolerance: None,
@@ -223,6 +235,10 @@ fn parse_args() -> Opts {
             }
             "--padded" => {
                 opts.padded = true;
+                i += 1;
+            }
+            "--serve" => {
+                opts.serve = true;
                 i += 1;
             }
             "--tolerance" => {
@@ -577,6 +593,101 @@ fn medical_scenarios(
             })
         },
     ));
+}
+
+/// The serve-mode family: a closed-loop load generator driving a
+/// [`GhostDbServer`] over the synthetic dataset. Every query carries the
+/// same hidden probe (`T12.h2` at the paper's sH), so concurrently queued
+/// queries share one climbing-index traversal when batching is on; the
+/// visible selectivity cycles so result shapes vary. The matrix is
+/// sessions {1, 4} × batching {on, off}; arrival order is deterministic
+/// (round-robin across sessions, waves of `queue_depth`). `wall_ns` is the
+/// median whole-run time as everywhere else; the `serve/…` entries
+/// additionally record per-query submit→outcome latency percentiles —
+/// the numbers a closed-loop client actually feels under load.
+/// Batching must not change `simulated_s`/`ops`/`bytes_io` (the as-if-solo
+/// billing contract, `tests/serve_equivalence.rs`), so those stay under
+/// the `--compare --exact` gate like every other scenario.
+fn serve_scenarios(scale: f64, warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
+    const DEPTH: usize = 8;
+    const WAVES: usize = 3;
+    const SESSIONS: [usize; 2] = [1, 4];
+    for n_sessions in SESSIONS {
+        for batching in [true, false] {
+            let (ds, db) = build_synthetic(scale);
+            let queries: Vec<_> = (0..DEPTH * WAVES)
+                .map(|i| query_q(&ds, &db, [0.001, 0.01, 0.1][i % 3], false))
+                .collect();
+            let opts = ExecOptions::new().strategy(VisStrategy::CrossPost);
+            let server =
+                GhostDbServer::new(db, ServeConfig::new().queue_depth(DEPTH).batching(batching))
+                    .unwrap_or_else(|e| {
+                        eprintln!("perfbench: serve server build failed: {e}");
+                        std::process::exit(1);
+                    });
+            let sessions: Vec<_> = (0..n_sessions).map(|_| server.session()).collect();
+            let name = format!(
+                "serve/x{scale}/s{n_sessions}/{}",
+                if batching { "batch" } else { "nobatch" }
+            );
+            eprintln!("perfbench: {name}");
+            let mut lat: Vec<u128> = Vec::new();
+            let mut entry = measure(name.as_str(), warmup, iters, || {
+                let mut stats = RunStats::default();
+                for wave in queries.chunks(DEPTH) {
+                    let mut submitted: Vec<Instant> = Vec::with_capacity(wave.len());
+                    for (i, q) in wave.iter().enumerate() {
+                        submitted.push(Instant::now());
+                        sessions[i % n_sessions]
+                            .submit(q, &opts)
+                            .unwrap_or_else(|e| {
+                                eprintln!("perfbench: {name}: admission failed: {e}");
+                                std::process::exit(1);
+                            });
+                    }
+                    server.drain().unwrap_or_else(|e| {
+                        eprintln!("perfbench: {name}: drain failed: {e}");
+                        std::process::exit(1);
+                    });
+                    let done = Instant::now();
+                    for t in submitted {
+                        lat.push(done.duration_since(t).as_nanos());
+                    }
+                    for s in &sessions {
+                        while let Some(o) = s.take() {
+                            let o = o.unwrap_or_else(|e| {
+                                eprintln!("perfbench: {name}: served query failed: {e}");
+                                std::process::exit(1);
+                            });
+                            stats.simulated_s += o.report.total().as_secs();
+                            stats.ops += o.report.result_rows;
+                            stats.bytes_io += o.report.io.bytes_to_ram + o.report.io.bytes_from_ram;
+                        }
+                    }
+                }
+                stats
+            });
+            // Percentiles over the timed iterations only (each run pushes
+            // one sample per query, warmup first).
+            let timed = &lat[warmup * queries.len()..];
+            entry.percentiles = Some((
+                percentile(timed, 0.5),
+                percentile(timed, 0.95),
+                percentile(timed, 0.99),
+            ));
+            out.push(entry);
+            let saved = server.batch_stats().saved_traversals;
+            if batching && saved == 0 {
+                eprintln!("perfbench: {name}: the batch scheduler never engaged");
+                std::process::exit(1);
+            }
+            if !batching && saved != 0 {
+                eprintln!("perfbench: {name}: batching disabled yet traversals were shared");
+                std::process::exit(1);
+            }
+            eprintln!("perfbench: {name}: {saved} traversals saved");
+        }
+    }
 }
 
 fn micro_device() -> (FlashDevice, SegmentAllocator, RamArena) {
@@ -942,6 +1053,95 @@ fn micro_sjoin(scale: f64, warmup: usize, iters: usize, out: &mut Vec<BenchEntry
     }));
 }
 
+/// The batch scheduler's traversal sharing in isolation: 8 queued queries
+/// probing the same climbing-index range, run as 8 independent traversals
+/// (what the unbatched server does) vs one banked all-levels traversal
+/// (`CiPrefetch::insert_traversal`) demultiplexed to all 8 (what the batch
+/// scheduler does). Identical sublist counts, ~8x fewer leaf reads —
+/// `bytes_io` carries the flash-byte ratio into BENCH.json alongside the
+/// wall win.
+fn micro_serve(warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
+    let schema = paper_synthetic_schema(1, 1);
+    let (mut dev, mut alloc, ram) = micro_device();
+    let t0 = schema.table_id("T0").unwrap();
+    let t1 = schema.table_id("T1").unwrap();
+    let t2 = schema.table_id("T2").unwrap();
+    let t11 = schema.table_id("T11").unwrap();
+    let t12 = schema.table_id("T12").unwrap();
+    let (n0, n1) = (40_000u64, 20_000u64);
+    let mut rows = vec![0u64; schema.len()];
+    rows[t0] = n0;
+    rows[t1] = n1;
+    rows[t2] = 10;
+    rows[t11] = 5;
+    rows[t12] = 4;
+    let mut fks = FkData::default();
+    fks.insert(t0, t1, (0..n0).map(|i| (i / 2) as Id).collect());
+    fks.insert(t0, t2, (0..n0).map(|i| (i % 10) as Id).collect());
+    fks.insert(t1, t11, (0..n1).map(|i| (i % 5) as Id).collect());
+    fks.insert(t1, t12, (0..n1).map(|i| (i % 4) as Id).collect());
+    let keys: Vec<u64> = (0..n1).map(|r| r % 5000).collect();
+    let ci = IndexBuilder::new(schema, rows, fks)
+        .build_climbing(
+            &mut dev,
+            &mut alloc,
+            ClimbingSpec {
+                table: t1,
+                column: "h1",
+                keys: &keys,
+                levels: LevelSpec::FullClimb,
+                exact: true,
+            },
+        )
+        .unwrap();
+    let n_levels = ci.levels.len();
+    const QUEUED: usize = 8;
+    let (lo, hi) = (0u64, 5000u64);
+    out.push(measure(
+        "micro/serve/batch-vs-solo_solo",
+        warmup,
+        iters,
+        || {
+            let snap = dev.snapshot();
+            let mut lists = 0u64;
+            for i in 0..QUEUED {
+                let mut probe = ci.probe(&ram).unwrap();
+                lists += probe
+                    .lookup_range(&mut dev, lo, hi, i % n_levels)
+                    .unwrap()
+                    .len() as u64;
+            }
+            let io = dev.stats_since(&snap);
+            RunStats {
+                ops: lists,
+                bytes_io: io.bytes_to_ram + io.bytes_from_ram,
+                ..Default::default()
+            }
+        },
+    ));
+    out.push(measure(
+        "micro/serve/batch-vs-solo_batched",
+        warmup,
+        iters,
+        || {
+            let snap = dev.snapshot();
+            let mut bank = CiPrefetch::new();
+            bank.insert_traversal(&mut dev, &ram, &ci, lo, hi).unwrap();
+            let mut lists = 0u64;
+            for i in 0..QUEUED {
+                let hit = bank.get(&ci, lo, hi).unwrap();
+                lists += hit.level(i % n_levels).len() as u64;
+            }
+            let io = dev.stats_since(&snap);
+            RunStats {
+                ops: lists,
+                bytes_io: io.bytes_to_ram + io.bytes_from_ram,
+                ..Default::default()
+            }
+        },
+    ));
+}
+
 /// Print the naive-vs-optimised pairs: the measured improvement every
 /// operator optimisation banks, straight from the harness output.
 fn print_improvements(entries: &[BenchEntry]) {
@@ -961,6 +1161,10 @@ fn print_improvements(entries: &[BenchEntry]) {
         ("micro/ci/probe_scalar", "micro/ci/probe_run"),
         ("micro/ci/multi-2lvl_naive", "micro/ci/multi-2lvl_single"),
         ("micro/ci/multi-4lvl_naive", "micro/ci/multi-4lvl_single"),
+        (
+            "micro/serve/batch-vs-solo_solo",
+            "micro/serve/batch-vs-solo_batched",
+        ),
         (
             "micro/idlist/intersect_stream",
             "micro/idlist/intersect_gallop",
@@ -1021,6 +1225,9 @@ fn main() {
     hicard_scenarios(opts.scale, warmup, iters, tune, &mut entries);
     padded_scenarios(opts.scale, warmup, iters, tune, &mut entries);
     medical_scenarios(opts.medical_scale, warmup, iters, tune, &mut entries);
+    if opts.serve {
+        serve_scenarios(opts.scale, warmup, iters, &mut entries);
+    }
 
     eprintln!("perfbench: operator microbenches...");
     micro_union(warmup, iters, &mut entries);
@@ -1029,6 +1236,9 @@ fn main() {
     micro_ci_probe(warmup, iters, &mut entries);
     micro_ci_multi(warmup, iters, &mut entries);
     micro_sjoin(opts.scale, warmup, iters, &mut entries);
+    if opts.serve {
+        micro_serve(warmup, iters, &mut entries);
+    }
 
     let doc = bench_doc(
         mode,

@@ -367,6 +367,29 @@ pub fn check_bench(doc: &Json) -> Result<BenchSummary, String> {
                 return Err(format!("entry {scenario:?}: {field} = {v} out of range"));
             }
         }
+        // `serve/…` scenarios are closed-loop load points: they MUST carry
+        // ordered latency percentiles. Any entry carrying the fields gets
+        // the same validation.
+        let pcts = ["p50_ns", "p95_ns", "p99_ns"];
+        if scenario.starts_with("serve/") || pcts.iter().any(|f| e.get(f).is_some()) {
+            let mut prev = 0.0f64;
+            for field in pcts {
+                let v = e
+                    .get(field)
+                    .and_then(Json::as_num)
+                    .ok_or(format!("entry {scenario:?}: missing numeric {field}"))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!("entry {scenario:?}: {field} = {v} out of range"));
+                }
+                if v < prev {
+                    return Err(format!(
+                        "entry {scenario:?}: {field} = {v} below a lower percentile \
+                         ({prev}) — percentiles must be non-decreasing"
+                    ));
+                }
+                prev = v;
+            }
+        }
     }
     let scenarios = entries.len() - micro;
     if scenarios < 12 {
@@ -707,6 +730,56 @@ mod tests {
         assert!(check_bench(&with_field("padded", Json::Bool(false))).is_ok());
         assert!(check_bench(&with_field("padded", Json::Num(1.0))).is_err());
         assert!(check_bench(&with_field("padded", Json::Str("yes".into()))).is_err());
+    }
+
+    #[test]
+    fn checker_validates_serve_percentiles() {
+        let names: Vec<String> = (0..12)
+            .map(|i| format!("q{i}"))
+            .chain(std::iter::once("micro/x".into()))
+            .collect();
+        let with_serve = |extra: Vec<(String, Json)>| {
+            let Json::Obj(mut fields) = doc(&names) else {
+                unreachable!()
+            };
+            let Json::Arr(entries) = &mut fields[2].1 else {
+                unreachable!()
+            };
+            let Json::Obj(mut e) = entry("serve/load") else {
+                unreachable!()
+            };
+            e.extend(extra);
+            entries.push(Json::Obj(e));
+            Json::Obj(fields)
+        };
+        let pct = |p50: f64, p95: f64, p99: f64| {
+            vec![
+                ("p50_ns".into(), Json::Num(p50)),
+                ("p95_ns".into(), Json::Num(p95)),
+                ("p99_ns".into(), Json::Num(p99)),
+            ]
+        };
+        // Ordered percentiles pass; ties are fine.
+        assert!(check_bench(&with_serve(pct(10.0, 20.0, 30.0))).is_ok());
+        assert!(check_bench(&with_serve(pct(10.0, 10.0, 10.0))).is_ok());
+        // A serve/ entry without percentiles is invalid.
+        let err = check_bench(&with_serve(vec![])).unwrap_err();
+        assert!(err.contains("p50_ns"), "{err}");
+        // Out-of-order and non-finite percentiles fail.
+        assert!(check_bench(&with_serve(pct(30.0, 20.0, 40.0))).is_err());
+        assert!(check_bench(&with_serve(pct(10.0, 20.0, f64::NAN))).is_err());
+        assert!(check_bench(&with_serve(pct(-1.0, 2.0, 3.0))).is_err());
+        // Percentiles on a non-serve entry are validated the same way.
+        let mut bad_micro = doc(&names);
+        if let Json::Obj(fields) = &mut bad_micro {
+            if let Json::Arr(entries) = &mut fields[2].1 {
+                if let Json::Obj(e) = &mut entries[12] {
+                    e.push(("p50_ns".into(), Json::Num(5.0)));
+                }
+            }
+        }
+        let err = check_bench(&bad_micro).unwrap_err();
+        assert!(err.contains("p95_ns"), "{err}");
     }
 
     #[test]

@@ -19,19 +19,41 @@ pub struct BenchEntry {
     pub ops: u64,
     /// Flash bytes moved through the data register (read + write side).
     pub bytes_io: u64,
+    /// Closed-loop per-query latency percentiles in nanoseconds, as
+    /// `(p50, p95, p99)` — present on `serve/…` scenarios (where the unit
+    /// of interest is one query's submit→outcome latency under load, not
+    /// the whole run), absent everywhere else.
+    pub percentiles: Option<(u128, u128, u128)>,
 }
 
 impl BenchEntry {
     /// The JSON object for this entry.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("scenario".into(), Json::Str(self.scenario.clone())),
             ("wall_ns".into(), Json::Num(self.wall_ns as f64)),
             ("simulated_s".into(), Json::Num(self.simulated_s)),
             ("ops".into(), Json::Num(self.ops as f64)),
             ("bytes_io".into(), Json::Num(self.bytes_io as f64)),
-        ])
+        ];
+        if let Some((p50, p95, p99)) = self.percentiles {
+            fields.push(("p50_ns".into(), Json::Num(p50 as f64)));
+            fields.push(("p95_ns".into(), Json::Num(p95 as f64)));
+            fields.push(("p99_ns".into(), Json::Num(p99 as f64)));
+        }
+        Json::Obj(fields)
     }
+}
+
+/// Percentile over raw latency samples by the nearest-rank method (the
+/// sample at ceil(q·n), 1-indexed). Sorts a copy; panics on empty input.
+pub fn percentile(samples: &[u128], q: f64) -> u128 {
+    assert!(!samples.is_empty(), "no latency samples");
+    assert!((0.0..=1.0).contains(&q));
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
 }
 
 /// Non-timing observations one run reports back.
@@ -72,6 +94,7 @@ pub fn measure(
         simulated_s: stats.simulated_s,
         ops: stats.ops,
         bytes_io: stats.bytes_io,
+        percentiles: None,
     }
 }
 
@@ -128,6 +151,17 @@ mod tests {
     }
 
     #[test]
+    fn percentile_uses_nearest_rank() {
+        let samples: Vec<u128> = (1..=100).rev().collect();
+        assert_eq!(percentile(&samples, 0.5), 50);
+        assert_eq!(percentile(&samples, 0.95), 95);
+        assert_eq!(percentile(&samples, 0.99), 99);
+        assert_eq!(percentile(&samples, 1.0), 100);
+        assert_eq!(percentile(&[42], 0.5), 42);
+        assert_eq!(percentile(&[7, 3], 0.99), 7);
+    }
+
+    #[test]
     fn doc_validates_against_the_checker() {
         let entries: Vec<BenchEntry> = (0..12)
             .map(|i| BenchEntry {
@@ -136,14 +170,26 @@ mod tests {
                 simulated_s: 0.0,
                 ops: 1,
                 bytes_io: 0,
+                percentiles: None,
             })
-            .chain(std::iter::once(BenchEntry {
-                scenario: "micro/m".into(),
-                wall_ns: 10,
-                simulated_s: 0.0,
-                ops: 1,
-                bytes_io: 0,
-            }))
+            .chain([
+                BenchEntry {
+                    scenario: "micro/m".into(),
+                    wall_ns: 10,
+                    simulated_s: 0.0,
+                    ops: 1,
+                    bytes_io: 0,
+                    percentiles: None,
+                },
+                BenchEntry {
+                    scenario: "serve/s1".into(),
+                    wall_ns: 10,
+                    simulated_s: 0.0,
+                    ops: 1,
+                    bytes_io: 0,
+                    percentiles: Some((5, 8, 9)),
+                },
+            ])
             .collect();
         let doc = bench_doc("smoke", 2, 2, "widest-smallest", false, &entries);
         let text = doc.render();

@@ -10,12 +10,13 @@ use ghostdb_exec::project::ProjectAlgo;
 use ghostdb_exec::query::analyze;
 use ghostdb_exec::strategy::{VisDecision, VisStrategy};
 use ghostdb_exec::{
-    optimizer, ExecCtx, ExecOptions, ExecReport, Executor, HostTrace, ResultSet, SpjQuery,
+    optimizer, ExecCtx, ExecOptions, ExecReport, Executor, GhostDbServer, HostTrace, ResultSet,
+    ServeConfig, SpillPolicy, SpjQuery,
 };
 use ghostdb_storage::schema::{Column, SchemaTree, TableDef, Visibility};
 use ghostdb_storage::{Id, Value};
 use ghostdb_token::TokenConfig;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Configuration of a GhostDB instance.
 #[derive(Debug, Clone)]
@@ -40,22 +41,66 @@ impl Default for GhostDbConfig {
     }
 }
 
-/// Per-query options.
+/// Per-query options: one builder,
+/// `QueryOptions::new().strategy(s).intra_threads(n).padded(true)`, that
+/// wraps [`ExecOptions`] directly — the same knob is spelled the same way
+/// at every layer (facade → session → executor), and invalid combinations
+/// (0 worker threads) are rejected before any execution state is touched.
 #[derive(Debug, Clone, Default)]
 pub struct QueryOptions {
+    exec: ExecOptions,
+    per_table: Vec<(String, VisStrategy)>,
+}
+
+impl QueryOptions {
+    /// Start a builder chain (automatic execution until overridden).
+    pub fn new() -> Self {
+        QueryOptions::default()
+    }
+
     /// Force one filtering strategy for all visible selections.
-    pub strategy: Option<VisStrategy>,
-    /// Pin strategies per table (Mixed plans).
-    pub per_table: Vec<(String, VisStrategy)>,
-    /// Projection algorithm.
-    pub project: Option<ProjectAlgo>,
-    /// Intra-query worker lanes (`None` = serial; results and reports are
+    pub fn strategy(mut self, s: VisStrategy) -> Self {
+        self.exec = self.exec.strategy(s);
+        self
+    }
+
+    /// Pin the strategy of one table by name (Mixed plans).
+    pub fn per_table(mut self, table: &str, s: VisStrategy) -> Self {
+        self.per_table.push((table.to_string(), s));
+        self
+    }
+
+    /// Projection algorithm override.
+    pub fn project(mut self, algo: ProjectAlgo) -> Self {
+        self.exec = self.exec.project(algo);
+        self
+    }
+
+    /// Intra-query worker lanes (1 = serial; results and reports are
     /// bit-identical at any value).
-    pub intra_threads: Option<usize>,
+    pub fn intra_threads(mut self, threads: usize) -> Self {
+        self.exec = self.exec.intra_threads(threads);
+        self
+    }
+
+    /// Reduction-phase spill policy.
+    pub fn spill_policy(mut self, policy: SpillPolicy) -> Self {
+        self.exec = self.exec.spill_policy(policy);
+        self
+    }
+
     /// Pad every visible shipment to a power-of-two row bucket (the volume
     /// side-channel countermeasure; see `SECURITY.md`). Results are
     /// unchanged; the padding bytes show up in the report's channel cost.
-    pub padded: bool,
+    pub fn padded(mut self, padded: bool) -> Self {
+        self.exec = self.exec.padded(padded);
+        self
+    }
+
+    /// Reject invalid combinations (0 threads) without executing anything.
+    pub fn validate(&self) -> Result<()> {
+        Ok(self.exec.validate()?)
+    }
 }
 
 /// A GhostDB instance: schema staging, the loaded database, and the two
@@ -161,8 +206,28 @@ impl GhostDb {
 
     /// Burn the key: vertically partition every table, download the hidden
     /// partition + indexes onto the token, hand the visible partition to
-    /// the PC. Implicit on the first query.
-    pub fn finalize(&mut self) -> Result<()> {
+    /// the PC — and seal the instance, returning a read-only serving
+    /// handle whose query methods take `&self` (see [`SealedGhostDb`]).
+    /// Idempotent; dropping the handle leaves the instance finalized, and
+    /// the deprecated `&mut self` query shims keep working against it.
+    pub fn finalize(&mut self) -> Result<SealedGhostDb<'_>> {
+        self.finalize_inner()?;
+        Ok(SealedGhostDb {
+            inner: Mutex::new(self),
+        })
+    }
+
+    /// Finalize and hand the assembled database to an in-process
+    /// [`GhostDbServer`] (admission queue, sessions, cross-query batch
+    /// scheduler — see `ghostdb_exec::serve`). Consumes the facade: the
+    /// server owns the one immutable catalog from here on.
+    pub fn into_server(mut self, cfg: ServeConfig) -> Result<GhostDbServer> {
+        self.finalize_inner()?;
+        let db = self.db.take().expect("finalized");
+        GhostDbServer::new(db, cfg).map_err(|e| CoreError::Semantic(e.to_string()))
+    }
+
+    fn finalize_inner(&mut self) -> Result<()> {
         if self.db.is_some() {
             return Ok(());
         }
@@ -262,38 +327,52 @@ impl GhostDb {
         Ok(q)
     }
 
+    /// Resolve facade options into executor options: table names become
+    /// pinned [`VisDecision`]s, everything else passes through the wrapped
+    /// [`ExecOptions`] untouched, and the build is validated before any
+    /// execution state exists.
     fn exec_options(&self, opts: &QueryOptions) -> Result<ExecOptions> {
         let db = self.db.as_ref().expect("finalized");
-        let mut strategies = Vec::new();
+        let mut exec = opts.exec.clone();
         for (tname, s) in &opts.per_table {
-            strategies.push(VisDecision {
+            exec = exec.pin(VisDecision {
                 table: db.schema.table_id(tname)?,
                 strategy: *s,
             });
         }
-        Ok(ExecOptions {
-            strategies,
-            forced_strategy: opts.strategy,
-            project: opts.project,
-            intra_threads: opts.intra_threads.unwrap_or(1),
-            padded: opts.padded,
-            ..Default::default()
-        })
+        exec.validate()?;
+        Ok(exec)
     }
 
     /// Run a SELECT with default (automatic) options.
+    #[deprecated(note = "finalize() now returns a SealedGhostDb whose query() takes &self")]
     pub fn query(&mut self, sql_text: &str) -> Result<ResultSet> {
-        Ok(self.query_with(sql_text, &QueryOptions::default())?.0)
+        Ok(self.query_with_inner(sql_text, &QueryOptions::default())?.0)
     }
 
     /// Run a SELECT with explicit options; returns the execution report
     /// alongside the rows.
+    #[deprecated(note = "finalize() now returns a SealedGhostDb whose query_with() takes &self")]
     pub fn query_with(
         &mut self,
         sql_text: &str,
         opts: &QueryOptions,
     ) -> Result<(ResultSet, ExecReport)> {
-        self.finalize()?;
+        self.query_with_inner(sql_text, opts)
+    }
+
+    /// Describe the plan the optimizer would choose, without executing.
+    #[deprecated(note = "finalize() now returns a SealedGhostDb whose explain() takes &self")]
+    pub fn explain(&mut self, sql_text: &str) -> Result<String> {
+        self.explain_inner(sql_text)
+    }
+
+    fn query_with_inner(
+        &mut self,
+        sql_text: &str,
+        opts: &QueryOptions,
+    ) -> Result<(ResultSet, ExecReport)> {
+        self.finalize_inner()?;
         let Statement::Select(stmt) = sql::parse(sql_text)? else {
             return Err(CoreError::Semantic("expected a SELECT statement".into()));
         };
@@ -303,9 +382,8 @@ impl GhostDb {
         Ok(Executor::run(db, &q, &exec_opts)?)
     }
 
-    /// Describe the plan the optimizer would choose, without executing.
-    pub fn explain(&mut self, sql_text: &str) -> Result<String> {
-        self.finalize()?;
+    fn explain_inner(&mut self, sql_text: &str) -> Result<String> {
+        self.finalize_inner()?;
         let Statement::Select(stmt) = sql::parse(sql_text)? else {
             return Err(CoreError::Semantic("expected a SELECT statement".into()));
         };
@@ -375,6 +453,61 @@ impl GhostDb {
     }
 }
 
+/// A sealed, read-only GhostDB handle, returned by [`GhostDb::finalize`].
+///
+/// Sealing is the facade-level contract that the catalog is immutable:
+/// every serving method here takes `&self`, so one handle can be shared
+/// across threads (`SealedGhostDb: Sync`) and queried without exclusive
+/// access — the same split the in-process server builds on
+/// ([`GhostDb::into_server`]). Internally the handle serializes on a
+/// mutex because the simulated token is a single-core device; the
+/// *interface* is read-only, the device is time-shared.
+pub struct SealedGhostDb<'a> {
+    inner: Mutex<&'a mut GhostDb>,
+}
+
+impl<'a> SealedGhostDb<'a> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, &'a mut GhostDb> {
+        self.inner.lock().expect("sealed facade")
+    }
+
+    /// Run a SELECT with default (automatic) options.
+    pub fn query(&self, sql_text: &str) -> Result<ResultSet> {
+        Ok(self.query_with(sql_text, &QueryOptions::default())?.0)
+    }
+
+    /// Run a SELECT with explicit options; returns the execution report
+    /// alongside the rows.
+    pub fn query_with(
+        &self,
+        sql_text: &str,
+        opts: &QueryOptions,
+    ) -> Result<(ResultSet, ExecReport)> {
+        self.lock().query_with_inner(sql_text, opts)
+    }
+
+    /// Describe the plan the optimizer would choose, without executing.
+    pub fn explain(&self, sql_text: &str) -> Result<String> {
+        self.lock().explain_inner(sql_text)
+    }
+
+    /// Audit the channel transcript of the last query.
+    pub fn audit(&self) -> Result<AuditReport> {
+        self.lock().audit()
+    }
+
+    /// The host-observable trace of the last query (see [`GhostDb::host_trace`]).
+    pub fn host_trace(&self) -> Result<HostTrace> {
+        self.lock().host_trace()
+    }
+}
+
+// One sealed handle must be shareable across client threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SealedGhostDb<'_>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,7 +558,8 @@ mod tests {
     #[test]
     fn ddl_load_query_roundtrip() {
         let mut db = patients_db();
-        let rs = db
+        let sealed = db.finalize().unwrap();
+        let rs = sealed
             .query(
                 "SELECT Patients.id, Patients.name, Doctors.specialty FROM Patients, Doctors \
                  WHERE Patients.doctor_id = Doctors.id AND Patients.bodymassindex > 25 \
@@ -439,13 +573,14 @@ mod tests {
             assert_eq!(row[0], Value::Int(want_id));
             assert_eq!(row[2], Value::Str("Psychiatrist".into()));
         }
-        assert!(db.audit().unwrap().ok);
+        assert!(sealed.audit().unwrap().ok);
     }
 
     #[test]
     fn star_projection() {
         let mut db = patients_db();
-        let rs = db
+        let sealed = db.finalize().unwrap();
+        let rs = sealed
             .query("SELECT * FROM Doctors WHERE Doctors.specialty = 'Cardiologist'")
             .unwrap();
         assert_eq!(rs.rows.len(), 10, "one row per root (Patients) tuple");
@@ -456,6 +591,8 @@ mod tests {
     fn invalid_join_rejected() {
         let mut db = patients_db();
         let err = db
+            .finalize()
+            .unwrap()
             .query("SELECT Patients.id FROM Patients, Doctors WHERE Patients.age = Doctors.id")
             .unwrap_err();
         assert!(matches!(err, CoreError::Semantic(_)));
@@ -475,6 +612,8 @@ mod tests {
     fn explain_names_strategies() {
         let mut db = patients_db();
         let plan = db
+            .finalize()
+            .unwrap()
             .explain(
                 "SELECT Patients.id FROM Patients, Doctors \
                  WHERE Doctors.specialty = 'Psychiatrist' AND Patients.bodymassindex > 30",
@@ -517,6 +656,8 @@ mod tests {
         )
         .unwrap();
         let rs = db
+            .finalize()
+            .unwrap()
             .query("SELECT M.id FROM M, D WHERE M.d_id = D.id AND D.name = 'Doctor Longname 3'")
             .unwrap();
         let expect: Vec<i64> = (0..50).filter(|i| i % 10 == 3).collect();
@@ -524,5 +665,68 @@ mod tests {
             rs.rows.iter().map(|r| r[0].clone()).collect::<Vec<_>>(),
             expect.into_iter().map(Value::Int).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn zero_threads_rejected_at_build_time() {
+        let opts = QueryOptions::new().intra_threads(0);
+        assert!(opts.validate().is_err(), "0-thread builds are invalid");
+        let mut db = patients_db();
+        let sealed = db.finalize().unwrap();
+        let err = sealed
+            .query_with("SELECT Patients.id FROM Patients", &opts)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Exec(_)));
+        // The rejection happened before execution: nothing was observed.
+        assert!(sealed.host_trace().unwrap().is_empty());
+    }
+
+    #[test]
+    fn builder_chain_threads_through_to_execution() {
+        let mut db = patients_db();
+        let sealed = db.finalize().unwrap();
+        let sql = "SELECT Patients.id FROM Patients, Doctors \
+                   WHERE Patients.doctor_id = Doctors.id \
+                   AND Doctors.specialty = 'Psychiatrist'";
+        let (base, _) = sealed.query_with(sql, &QueryOptions::new()).unwrap();
+        for s in [VisStrategy::Pre, VisStrategy::Post] {
+            let opts = QueryOptions::new()
+                .strategy(s)
+                .intra_threads(2)
+                .padded(true);
+            let (rs, report) = sealed.query_with(sql, &opts).unwrap();
+            assert_eq!(rs, base, "knobs never change results");
+            assert!(report.result_rows > 0);
+        }
+        let pinned = QueryOptions::new().per_table("Doctors", VisStrategy::Post);
+        let (rs, _) = sealed.query_with(sql, &pinned).unwrap();
+        assert_eq!(rs, base);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_mutable_shims_still_work() {
+        let mut db = patients_db();
+        let rs = db
+            .query("SELECT Doctors.id FROM Doctors WHERE Doctors.specialty = 'Psychiatrist'")
+            .unwrap();
+        assert!(!rs.rows.is_empty());
+        let plan = db.explain("SELECT Patients.id FROM Patients").unwrap();
+        assert!(plan.contains("query:"));
+    }
+
+    #[test]
+    fn into_server_serves_sessions() {
+        use ghostdb_exec::{ExecOptions, SpjQuery};
+        let db = patients_db();
+        let server = db.into_server(ServeConfig::new().queue_depth(4)).unwrap();
+        let session = server.session();
+        // The facade's SQL layer is consumed by into_server; speak the
+        // executor's query algebra directly, as `ghostdb-datagen` users do.
+        let mut q = SpjQuery::new().project(0, "id");
+        q.text = "serve-smoke".into();
+        let out = session.query(&q, &ExecOptions::auto()).unwrap();
+        assert_eq!(out.result.rows.len(), 20, "one row per root tuple");
+        assert!(!out.transcript.is_empty());
     }
 }

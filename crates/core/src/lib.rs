@@ -26,11 +26,12 @@
 //!     ],
 //! )
 //! .unwrap();
-//! let result = db
+//! let sealed = db.finalize().unwrap(); // burn the key: the catalog is now immutable
+//! let result = sealed
 //!     .query("SELECT Patients.name FROM Patients WHERE Patients.age = 50 AND Patients.bodymassindex > 25")
 //!     .unwrap();
 //! assert_eq!(result.rows.len(), 1); // only Bob — and his name never crossed the wire
-//! assert!(db.audit().unwrap().ok);
+//! assert!(sealed.audit().unwrap().ok);
 //! ```
 //!
 //! The heavy lifting lives in the substrate crates: `ghostdb-flash`
@@ -46,11 +47,14 @@ pub mod error;
 pub mod sql;
 
 pub use audit::{audit_transcript, AuditReport};
-pub use db::{GhostDb, GhostDbConfig, QueryOptions};
+pub use db::{GhostDb, GhostDbConfig, QueryOptions, SealedGhostDb};
 pub use error::CoreError;
 pub use ghostdb_exec::project::ProjectAlgo;
 pub use ghostdb_exec::strategy::VisStrategy as Strategy;
-pub use ghostdb_exec::{ExecReport, HostOp, HostTrace, HostTraceEvent, ResultSet};
+pub use ghostdb_exec::{
+    BatchStats, ExecReport, GhostDbServer, HostOp, HostTrace, HostTraceEvent, QueryOutcome,
+    ResultSet, ServeConfig, ServeError, Session, SpillPolicy,
+};
 
 /// Result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

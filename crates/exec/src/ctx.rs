@@ -252,6 +252,17 @@ impl<'a, 'd> DeviceLane<'a, 'd> {
         self.io
     }
 
+    /// Charge a pre-measured counter delta to this lane, exactly as if the
+    /// lane had issued the operations itself. This is how a cross-query
+    /// prefetch hit (`ci_ops::CiPrefetch`) bills the served query the same
+    /// flash cost its own traversal would have caused: the delta was
+    /// snapshotted when the shared traversal ran, and charging it here
+    /// makes `track` scopes and `finish_report` indistinguishable from the
+    /// solo execution.
+    pub fn charge(&mut self, d: FlashStats) {
+        self.io += d;
+    }
+
     /// Simulated time implied by a counter delta under this lane's model.
     pub fn elapsed_of(&self, d: &FlashStats) -> SimDuration {
         d.elapsed(&self.timing, self.page_size)
@@ -355,6 +366,11 @@ pub struct ExecCtx<'a, 'd> {
     /// Pad every `Vis` shipment to a power-of-two row bucket (the volume
     /// side-channel countermeasure; see `SECURITY.md`).
     pub padded: bool,
+    /// Cross-query climbing-index prefetch (the serve-mode batch
+    /// scheduler's shared traversals). `None` on solo executions; hits are
+    /// billed as-if-solo via [`DeviceLane::charge`], so the report is
+    /// bit-identical either way.
+    pub prefetch: Option<&'a crate::ci_ops::CiPrefetch>,
     channel: Option<&'a mut Channel>,
     /// Open `track`/`track_rw` scopes; guards the run_lanes nesting rule.
     track_depth: u32,
@@ -382,6 +398,7 @@ impl<'a> ExecCtx<'a, 'a> {
             intra: 1,
             spill: SpillPolicy::default(),
             padded: false,
+            prefetch: None,
             channel: Some(&mut token.channel),
             track_depth: 0,
         }
@@ -608,6 +625,7 @@ impl<'a, 'd> ExecCtx<'a, 'd> {
         let cat = self.cat;
         let spill = self.spill;
         let padded = self.padded;
+        let prefetch = self.prefetch;
         let arena = self.lane.ram();
         // GC placement is the one scheduling-dependent cost in the FTL: if
         // garbage collection fires while workers interleave writes, victim
@@ -645,6 +663,7 @@ impl<'a, 'd> ExecCtx<'a, 'd> {
                         intra: 1,
                         spill,
                         padded,
+                        prefetch,
                         channel: None,
                         track_depth: 0,
                     };

@@ -232,12 +232,14 @@ impl Database {
         self.cis.get(&(t, column.to_string()))
     }
 
-    /// Reset per-query observability state: channel transcript, counters
-    /// and the host-observable trace. Flash stats are monotone; the
-    /// executor snapshots them instead.
+    /// Reset per-query channel state: transcript and byte counters. Flash
+    /// stats are monotone; the executor snapshots them instead. The
+    /// host-observable trace is deliberately NOT reset here — its reset
+    /// belongs to the session (the executor for solo runs, the serving
+    /// session otherwise), so concurrent sessions cannot clobber each
+    /// other's captured traces.
     pub fn begin_query(&mut self) {
         self.token.channel.reset();
-        self.untrusted.reset_trace();
     }
 }
 

@@ -49,41 +49,63 @@ impl Default for ExecOptions {
 }
 
 impl ExecOptions {
-    /// Fully automatic execution.
+    /// Fully automatic execution (alias of [`ExecOptions::new`]).
     pub fn auto() -> Self {
         ExecOptions::default()
     }
 
+    /// Start a builder chain: `ExecOptions::new().strategy(s).padded(true)`.
+    /// The same builder vocabulary is exposed (and threaded through) by the
+    /// facade's `QueryOptions`, so there is exactly one way to spell an
+    /// execution knob at every layer.
+    pub fn new() -> Self {
+        ExecOptions::default()
+    }
+
     /// Force one strategy for every visible selection.
-    pub fn with_strategy(strategy: crate::strategy::VisStrategy) -> Self {
-        ExecOptions {
-            forced_strategy: Some(strategy),
-            ..Default::default()
-        }
+    pub fn strategy(mut self, strategy: crate::strategy::VisStrategy) -> Self {
+        self.forced_strategy = Some(strategy);
+        self
+    }
+
+    /// Pin the decision of one table (Mixed plans, §3.3).
+    pub fn pin(mut self, decision: VisDecision) -> Self {
+        self.strategies.push(decision);
+        self
     }
 
     /// Projection algorithm override.
-    pub fn with_project(mut self, algo: ProjectAlgo) -> Self {
+    pub fn project(mut self, algo: ProjectAlgo) -> Self {
         self.project = Some(algo);
         self
     }
 
     /// Intra-query worker budget.
-    pub fn with_intra_threads(mut self, threads: usize) -> Self {
+    pub fn intra_threads(mut self, threads: usize) -> Self {
         self.intra_threads = threads;
         self
     }
 
     /// Reduction-phase spill policy.
-    pub fn with_spill_policy(mut self, policy: SpillPolicy) -> Self {
+    pub fn spill_policy(mut self, policy: SpillPolicy) -> Self {
         self.spill_policy = policy;
         self
     }
 
     /// Volume-padded `Vis` shipments (power-of-two row buckets).
-    pub fn with_padded(mut self, padded: bool) -> Self {
+    pub fn padded(mut self, padded: bool) -> Self {
         self.padded = padded;
         self
+    }
+
+    /// Reject invalid combinations before any execution state is touched.
+    /// Called by the executor, the facade and the server alike, so a bad
+    /// build fails identically everywhere.
+    pub fn validate(&self) -> Result<()> {
+        if self.intra_threads == 0 {
+            return Err(ExecError::Query("intra_threads must be ≥ 1".into()));
+        }
+        Ok(())
     }
 }
 
@@ -97,15 +119,34 @@ impl Executor {
         q: &SpjQuery,
         opts: &ExecOptions,
     ) -> Result<(ResultSet, ExecReport)> {
-        if opts.intra_threads == 0 {
-            return Err(ExecError::Query("intra_threads must be ≥ 1".into()));
-        }
+        Self::run_prefetched(db, q, opts, None)
+    }
+
+    /// [`Executor::run`] with an optional cross-query prefetch bank (the
+    /// serve-mode batch scheduler's shared climbing-index traversals).
+    /// With `None` this *is* solo execution; with a bank, probe hits are
+    /// billed as-if-solo (`DeviceLane::charge`), so results, every
+    /// `ExecReport` field and the host transcript are bit-identical either
+    /// way (`tests/serve_equivalence.rs`).
+    pub fn run_prefetched<'e>(
+        db: &'e mut Database,
+        q: &SpjQuery,
+        opts: &ExecOptions,
+        prefetch: Option<&'e crate::ci_ops::CiPrefetch>,
+    ) -> Result<(ResultSet, ExecReport)> {
+        opts.validate()?;
         db.begin_query();
+        // The host-observable trace resets here — with the executor acting
+        // as a session of one — not in `begin_query`: serve-mode sessions
+        // snapshot their traces per query, so one session's next query
+        // must not clobber what another session already observed.
+        db.untrusted.reset_trace();
         let a = analyze(&db.schema, q)?;
         let mut ctx = ExecCtx::new(db);
         ctx.intra = opts.intra_threads;
         ctx.spill = opts.spill_policy;
         ctx.padded = opts.padded;
+        ctx.prefetch = prefetch;
 
         // The query travels to the token in the clear (it is the one thing
         // an observer legitimately learns), and the token acknowledges.

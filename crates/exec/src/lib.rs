@@ -37,12 +37,14 @@ pub mod project;
 pub mod query;
 pub mod report;
 pub mod result;
+pub mod serve;
 pub mod sjoin;
 pub mod source;
 pub mod strategy;
 #[doc(hidden)]
 pub mod testkit;
 
+pub use ci_ops::CiPrefetch;
 pub use ctx::{CatalogCtx, CostScope, DeviceLane, ExecCtx, SpillPolicy};
 pub use database::Database;
 pub use error::ExecError;
@@ -52,6 +54,7 @@ pub use project::ProjectAlgo;
 pub use query::SpjQuery;
 pub use report::{ExecReport, OpKind};
 pub use result::ResultSet;
+pub use serve::{BatchStats, GhostDbServer, QueryOutcome, ServeConfig, ServeError, Session};
 pub use source::SharedIds;
 pub use strategy::VisStrategy;
 

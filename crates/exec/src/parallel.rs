@@ -196,7 +196,7 @@ mod tests {
                     .project(t0, "id")
                     .project(t1, "v1");
                 q.text = format!("tiny {i}");
-                (q, ExecOptions::with_strategy(*s))
+                (q, ExecOptions::new().strategy(*s))
             })
             .collect()
     }
@@ -269,7 +269,7 @@ mod tests {
                 )
                 .project(t0, "id");
             q.text = "cross-fail".into();
-            (q, ExecOptions::with_strategy(strategy))
+            (q, ExecOptions::new().strategy(strategy))
         };
         let jobs = vec![
             mk(VisStrategy::Pre),

@@ -77,8 +77,11 @@ impl OpKind {
     }
 }
 
-/// Execution report of one query.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// Execution report of one query. `PartialEq` compares every field
+/// bit-for-bit — the equivalence suites (`intra_equivalence`,
+/// `serve_equivalence`) rely on this to hold optimized schedules to the
+/// solo/serial observation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExecReport {
     op_ns: Vec<u128>,
     /// Wire time (bytes / throughput).

@@ -383,16 +383,16 @@ proptest! {
         ][strat_pick];
         let mut base_db = tiny_db();
         let q = cross_query(&base_db, vis_k, hid_k);
-        let base_opts = ExecOptions::with_strategy(strategy)
-            .with_project(ProjectAlgo::Project)
-            .with_intra_threads(1);
+        let base_opts = ExecOptions::new().strategy(strategy)
+            .project(ProjectAlgo::Project)
+            .intra_threads(1);
         let (want_rs, want_rep) =
             Executor::run(&mut base_db, &q, &base_opts).expect("serial run");
         for threads in [1usize, 2, 4] {
             let mut db = tiny_db();
-            let opts = ExecOptions::with_strategy(strategy)
-                .with_project(ProjectAlgo::Project)
-                .with_intra_threads(threads);
+            let opts = ExecOptions::new().strategy(strategy)
+                .project(ProjectAlgo::Project)
+                .intra_threads(threads);
             for repeat in 0..2 {
                 let (rs, rep) = Executor::run(&mut db, &q, &opts).expect("cross run");
                 let tag = format!(

@@ -75,7 +75,7 @@ fn all_strategies_agree_with_ground_truth() {
         VisStrategy::CrossPostSelect,
         VisStrategy::NoFilter,
     ] {
-        let rs = run(&mut db, &q, &ExecOptions::with_strategy(strategy));
+        let rs = run(&mut db, &q, &ExecOptions::new().strategy(strategy));
         assert_eq!(
             rs.sorted().rows,
             expected,
@@ -96,7 +96,7 @@ fn all_projection_algorithms_agree() {
         ProjectAlgo::BruteForce,
     ] {
         for strategy in [VisStrategy::CrossPre, VisStrategy::CrossPost] {
-            let opts = ExecOptions::with_strategy(strategy).with_project(algo);
+            let opts = ExecOptions::new().strategy(strategy).project(algo);
             let rs = run(&mut db, &q, &opts);
             assert_eq!(
                 rs.sorted().rows,
@@ -236,7 +236,7 @@ fn empty_result_queries() {
         .project(t0, "id");
     q.text = "SELECT T0.id FROM T0, T1 WHERE T1.v1='00099999' AND T1.h1='00000001'".into();
     for strategy in [VisStrategy::Pre, VisStrategy::CrossPre, VisStrategy::Post] {
-        let rs = run(&mut db, &q, &ExecOptions::with_strategy(strategy));
+        let rs = run(&mut db, &q, &ExecOptions::new().strategy(strategy));
         assert!(rs.is_empty(), "{}", strategy.name());
     }
 }
@@ -273,7 +273,7 @@ fn report_buckets_are_populated() {
     let (_, report) = Executor::run(
         &mut db,
         &q,
-        &ExecOptions::with_strategy(VisStrategy::CrossPre),
+        &ExecOptions::new().strategy(VisStrategy::CrossPre),
     )
     .unwrap();
     assert!(report.total().as_ns() > 0);
@@ -299,7 +299,9 @@ fn spill_policies_agree_on_results() {
         ghostdb_exec::SpillPolicy::WidestSmallest,
         ghostdb_exec::SpillPolicy::GlobalSmallestK,
     ] {
-        let opts = ExecOptions::with_strategy(VisStrategy::Pre).with_spill_policy(policy);
+        let opts = ExecOptions::new()
+            .strategy(VisStrategy::Pre)
+            .spill_policy(policy);
         let rs = run(&mut db, &q, &opts);
         assert_eq!(rs.sorted().rows, expected, "policy {:?}", policy);
     }
@@ -318,7 +320,7 @@ fn strategies_not_applicable_error_cleanly() {
     let err = Executor::run(
         &mut db,
         &q,
-        &ExecOptions::with_strategy(VisStrategy::CrossPre),
+        &ExecOptions::new().strategy(VisStrategy::CrossPre),
     )
     .unwrap_err();
     assert!(matches!(

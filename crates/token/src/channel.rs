@@ -23,8 +23,10 @@ pub enum Direction {
     ToUntrusted,
 }
 
-/// One observed transfer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// One observed transfer. `PartialEq` compares the full observation
+/// (direction, tag, size, captured payload) so equivalence suites can hold
+/// two execution schedules to the same wire transcript bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TranscriptEntry {
     /// Direction on the wire.
     pub direction: Direction,

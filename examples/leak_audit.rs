@@ -72,8 +72,18 @@ fn fail(msg: &str) -> ! {
 fn run_pair(sql: &str, opts: &QueryOptions, label: &str) -> (usize, usize, String) {
     let mut world_a = build(0);
     let mut world_b = build(500_000);
-    let rows_a = world_a.query_with(sql, opts).expect("query A").0;
-    let rows_b = world_b.query_with(sql, opts).expect("query B").0;
+    let rows_a = world_a
+        .finalize()
+        .expect("finalize A")
+        .query_with(sql, opts)
+        .expect("query A")
+        .0;
+    let rows_b = world_b
+        .finalize()
+        .expect("finalize B")
+        .query_with(sql, opts)
+        .expect("query B")
+        .0;
 
     let (wire_a, host_a) = observer_view(&world_a);
     let (wire_b, host_b) = observer_view(&world_b);
@@ -106,7 +116,11 @@ fn main() {
     {
         // The snooper's formatted view, for the demo.
         let mut world_a = build(0);
-        world_a.query(sql).expect("query A");
+        world_a
+            .finalize()
+            .expect("finalize")
+            .query(sql)
+            .expect("query A");
         println!("snooper's view (world A):");
         println!(
             "{}",
@@ -125,15 +139,15 @@ fn main() {
     println!("different result cardinalities — same wire, same host view.");
 
     // ---- Padded mode ----------------------------------------------------
-    let padded = QueryOptions {
-        padded: true,
-        ..Default::default()
-    };
+    let padded = QueryOptions::new().padded(true);
     let (_, _, _host_padded) = run_pair(sql, &padded, "padded");
     // Padding engages on the Vis shipment volumes: the trace records
     // post-padding bytes, the transcript records the .padN tag.
     let mut w = build(0);
-    w.query_with(sql, &padded).expect("padded query");
+    w.finalize()
+        .expect("finalize")
+        .query_with(sql, &padded)
+        .expect("padded query");
     let tagged = w
         .database()
         .expect("loaded")

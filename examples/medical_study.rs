@@ -40,14 +40,13 @@ fn main() {
     // The same study through the SQL facade, with a pinned strategy.
     let mut sql_db = GhostDb::from_database(dataset.build().expect("rebuild"));
     let (rs, rep) = sql_db
+        .finalize()
+        .expect("finalize")
         .query_with(
             "SELECT Measurements.id, Patients.first_name FROM Measurements, Patients, Doctors \
              WHERE Measurements.patient_id = Patients.id AND Patients.doctor_id = Doctors.id \
              AND Patients.first_name < '00000014' AND Doctors.name < '00000005'",
-            &QueryOptions {
-                strategy: Some(Strategy::CrossPre),
-                ..Default::default()
-            },
+            &QueryOptions::new().strategy(Strategy::CrossPre),
         )
         .expect("sql query");
     println!(

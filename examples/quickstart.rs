@@ -49,14 +49,17 @@ fn main() {
     // (age) with a hidden one (bodymassindex).
     let sql = "SELECT Patients.name, Patients.age, Patients.bodymassindex \
                FROM Patients WHERE Patients.age = 50 AND Patients.bodymassindex > 23";
+    // Burn the key: from here on the catalog is immutable and the sealed
+    // handle serves queries through `&self`.
+    let sealed = db.finalize().expect("finalize");
     println!("query: {sql}\n");
-    println!("{}", db.explain(sql).expect("explain"));
-    let result = db.query(sql).expect("query");
+    println!("{}", sealed.explain(sql).expect("explain"));
+    let result = sealed.query(sql).expect("query");
     println!("{result}\n");
 
     // What did a wire snooper see? Only the query and visible data flowing
     // *into* the key — never a name or a BMI.
-    let audit = db.audit().expect("audit");
+    let audit = sealed.audit().expect("audit");
     println!("{audit}");
     assert!(audit.ok, "leak audit must pass");
 }

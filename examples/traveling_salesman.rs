@@ -99,10 +99,11 @@ fn main() {
                WHERE Orders.customer_id = Customers.id AND Orders.product_id = Products.id \
                AND Orders.quarter = '2026Q1' AND Customers.discount_pct > 10";
     println!("query: {sql}\n");
-    let result = db.query(sql).expect("query");
+    let sealed = db.finalize().expect("finalize");
+    let result = sealed.query(sql).expect("query");
     println!("{result}\n");
 
-    let audit = db.audit().expect("audit");
+    let audit = sealed.audit().expect("audit");
     println!("{audit}");
     assert!(audit.ok);
     println!("Customer names and discounts were combined with the public catalog —");

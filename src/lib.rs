@@ -9,5 +9,7 @@ pub use ghostdb_core as core;
 
 /// Convenience re-exports for examples and integration tests.
 pub mod prelude {
-    pub use ghostdb_core::{GhostDb, GhostDbConfig, QueryOptions, Strategy};
+    pub use ghostdb_core::{
+        GhostDb, GhostDbConfig, QueryOptions, SealedGhostDb, ServeConfig, Strategy,
+    };
 }

@@ -10,7 +10,9 @@
 use ghostdb_datagen::{SyntheticDataset, SyntheticSpec};
 use ghostdb_exec::project::ProjectAlgo;
 use ghostdb_exec::strategy::VisStrategy;
-use ghostdb_exec::{Database, ExecOptions, Executor, HostTrace, SpillPolicy, SpjQuery};
+use ghostdb_exec::{
+    Database, ExecOptions, Executor, GhostDbServer, HostTrace, ServeConfig, SpillPolicy, SpjQuery,
+};
 
 const STRATEGIES: [VisStrategy; 7] = [
     VisStrategy::Pre,
@@ -59,10 +61,11 @@ fn host_trace_identical_across_intra_widths() {
             let serial = run_trace(
                 &mut serial_db,
                 &q,
-                &ExecOptions::with_strategy(strategy)
-                    .with_project(ProjectAlgo::Project)
-                    .with_intra_threads(1)
-                    .with_padded(padded),
+                &ExecOptions::new()
+                    .strategy(strategy)
+                    .project(ProjectAlgo::Project)
+                    .intra_threads(1)
+                    .padded(padded),
             );
             assert!(
                 !serial.is_empty(),
@@ -73,10 +76,11 @@ fn host_trace_identical_across_intra_widths() {
                 let got = run_trace(
                     &mut db,
                     &q,
-                    &ExecOptions::with_strategy(strategy)
-                        .with_project(ProjectAlgo::Project)
-                        .with_intra_threads(threads)
-                        .with_padded(padded),
+                    &ExecOptions::new()
+                        .strategy(strategy)
+                        .project(ProjectAlgo::Project)
+                        .intra_threads(threads)
+                        .padded(padded),
                 );
                 assert_eq!(
                     serial,
@@ -99,17 +103,19 @@ fn host_trace_identical_across_spill_policies() {
     let base = run_trace(
         &mut base_db,
         &q,
-        &ExecOptions::with_strategy(VisStrategy::CrossPost)
-            .with_project(ProjectAlgo::Project)
-            .with_spill_policy(SpillPolicy::WidestSmallest),
+        &ExecOptions::new()
+            .strategy(VisStrategy::CrossPost)
+            .project(ProjectAlgo::Project)
+            .spill_policy(SpillPolicy::WidestSmallest),
     );
     let mut db = ds.build().expect("build");
     let got = run_trace(
         &mut db,
         &q,
-        &ExecOptions::with_strategy(VisStrategy::CrossPost)
-            .with_project(ProjectAlgo::Project)
-            .with_spill_policy(SpillPolicy::GlobalSmallestK),
+        &ExecOptions::new()
+            .strategy(VisStrategy::CrossPost)
+            .project(ProjectAlgo::Project)
+            .spill_policy(SpillPolicy::GlobalSmallestK),
     );
     assert_eq!(base, got, "spill policy leaked into the host trace");
 }
@@ -120,10 +126,11 @@ fn host_trace_identical_across_spill_policies() {
 fn host_trace_identical_across_repeats() {
     let ds = dataset();
     let q = query(&ds);
-    let opts = ExecOptions::with_strategy(VisStrategy::CrossPre)
-        .with_project(ProjectAlgo::Project)
-        .with_intra_threads(4)
-        .with_padded(true);
+    let opts = ExecOptions::new()
+        .strategy(VisStrategy::CrossPre)
+        .project(ProjectAlgo::Project)
+        .intra_threads(4)
+        .padded(true);
     let mut db_a = ds.build().expect("build");
     let first = run_trace(&mut db_a, &q, &opts);
     let again_same_db = run_trace(&mut db_a, &q, &opts);
@@ -131,4 +138,44 @@ fn host_trace_identical_across_repeats() {
     let fresh = run_trace(&mut db_b, &q, &opts);
     assert_eq!(first, again_same_db, "per-query trace reset failed");
     assert_eq!(first, fresh, "trace depends on database instance");
+}
+
+/// The trace reset lives with the session, not the database: when two
+/// serve-mode sessions interleave on one server, each session's captured
+/// trace is exactly the solo trace of its own query — session B's traffic
+/// never clobbers what session A observed.
+#[test]
+fn host_trace_survives_a_second_session() {
+    let ds = dataset();
+    let q_a = query(&ds);
+    let mut q_b = query(&ds);
+    // Session B runs a different query shape (extra projection) so a
+    // clobbered trace cannot accidentally match.
+    q_b = q_b.project(ds.schema.table_id("T1").expect("T1"), "id");
+    q_b.text = "host-trace-determinism-Q-b".into();
+    let opts = ExecOptions::new()
+        .strategy(VisStrategy::CrossPre)
+        .project(ProjectAlgo::Project);
+
+    // Solo references.
+    let mut solo_db = ds.build().expect("build");
+    let solo_a = run_trace(&mut solo_db, &q_a, &opts);
+    let solo_b = run_trace(&mut solo_db, &q_b, &opts);
+    assert_ne!(solo_a, solo_b, "the two queries must observe differently");
+
+    // Two sessions on one server: A's query executes, then B's; A's
+    // captured trace must still read back as the solo trace afterwards.
+    let server =
+        GhostDbServer::new(ds.build().expect("build"), ServeConfig::default()).expect("server");
+    let sa = server.session();
+    let sb = server.session();
+    let out_a = sa.query(&q_a, &opts).expect("session A query");
+    let out_b = sb.query(&q_b, &opts).expect("session B query");
+    assert_eq!(out_a.trace, solo_a, "session A trace diverges from solo");
+    assert_eq!(out_b.trace, solo_b, "session B trace diverges from solo");
+    assert_eq!(
+        sa.host_trace().expect("A has a trace"),
+        solo_a,
+        "session B's query clobbered session A's captured trace"
+    );
 }

@@ -69,18 +69,17 @@ fn assert_intra_equivalent(label: &str, build: impl Fn() -> Database, q: &SpjQue
     let serial: Vec<_> = jobs
         .iter()
         .map(|(s, a)| {
-            let opts = ExecOptions::with_strategy(*s)
-                .with_project(*a)
-                .with_intra_threads(1);
+            let opts = ExecOptions::new().strategy(*s).project(*a).intra_threads(1);
             Executor::run(&mut serial_db, q, &opts).expect("serial run")
         })
         .collect();
     for threads in [2usize, 4] {
         let mut db = build();
         for ((s, a), (want_rs, want_rep)) in jobs.iter().zip(&serial) {
-            let opts = ExecOptions::with_strategy(*s)
-                .with_project(*a)
-                .with_intra_threads(threads);
+            let opts = ExecOptions::new()
+                .strategy(*s)
+                .project(*a)
+                .intra_threads(threads);
             let (rs, rep) = Executor::run(&mut db, q, &opts).expect("intra run");
             let tag = format!("{label}/{}/{}/threads={threads}", s.name(), a.name());
             assert_eq!(&rs, want_rs, "{tag}: result set diverges");
@@ -144,9 +143,10 @@ fn intra_runs_are_deterministic_across_repeats() {
     spec.seed = 31;
     let ds = SyntheticDataset::generate(spec);
     let q = synthetic_query(&ds);
-    let opts = ExecOptions::with_strategy(VisStrategy::CrossPost)
-        .with_project(ProjectAlgo::Project)
-        .with_intra_threads(4);
+    let opts = ExecOptions::new()
+        .strategy(VisStrategy::CrossPost)
+        .project(ProjectAlgo::Project)
+        .intra_threads(4);
     let mut db_a = ds.build().expect("build");
     let (rs_a, rep_a) = Executor::run(&mut db_a, &q, &opts).expect("run a");
     let mut db_b = ds.build().expect("build");
@@ -160,6 +160,6 @@ fn zero_intra_threads_is_rejected() {
     let ds = SyntheticDataset::generate(SyntheticSpec::small());
     let q = synthetic_query(&ds);
     let mut db = ds.build().expect("build");
-    let opts = ExecOptions::auto().with_intra_threads(0);
+    let opts = ExecOptions::auto().intra_threads(0);
     assert!(Executor::run(&mut db, &q, &opts).is_err());
 }

@@ -59,8 +59,8 @@ const Q: &str = "SELECT Accounts.owner, Accounts.balance FROM Accounts \
 fn hidden_data_invisible_unpadded() {
     let mut a = world(0);
     let mut b = world(500_000);
-    let rows_a = a.query(Q).expect("query A");
-    let rows_b = b.query(Q).expect("query B");
+    let rows_a = a.finalize().expect("finalize A").query(Q).expect("query A");
+    let rows_b = b.finalize().expect("finalize B").query(Q).expect("query B");
     assert_ne!(
         rows_a.rows.len(),
         rows_b.rows.len(),
@@ -85,14 +85,21 @@ fn hidden_data_invisible_unpadded() {
 /// — and the padded tags still satisfy the transcript auditor.
 #[test]
 fn hidden_data_invisible_padded() {
-    let opts = QueryOptions {
-        padded: true,
-        ..Default::default()
-    };
+    let opts = QueryOptions::new().padded(true);
     let mut a = world(0);
     let mut b = world(500_000);
-    let rows_a = a.query_with(Q, &opts).expect("query A").0;
-    let rows_b = b.query_with(Q, &opts).expect("query B").0;
+    let rows_a = a
+        .finalize()
+        .expect("finalize A")
+        .query_with(Q, &opts)
+        .expect("query A")
+        .0;
+    let rows_b = b
+        .finalize()
+        .expect("finalize B")
+        .query_with(Q, &opts)
+        .expect("query B")
+        .0;
     assert_ne!(rows_a.rows.len(), rows_b.rows.len());
     assert_eq!(transcript(&a), transcript(&b));
     assert_eq!(a.host_trace().unwrap(), b.host_trace().unwrap());
@@ -120,18 +127,25 @@ fn hidden_selectivity_invisible() {
     assert_eq!(q_wide.len(), q_narrow.len(), "equal shape by construction");
 
     for padded in [false, true] {
-        let opts = QueryOptions {
-            padded,
-            ..Default::default()
-        };
+        let opts = QueryOptions::new().padded(padded);
         let mut db = world(0);
-        let wide = db.query_with(q_wide, &opts).expect("wide").0;
+        let wide = db
+            .finalize()
+            .expect("finalize")
+            .query_with(q_wide, &opts)
+            .expect("wide")
+            .0;
         let trace_wide = db.host_trace().unwrap();
         let wire_wide: Vec<(String, u64)> = transcript(&db)
             .into_iter()
             .map(|(tag, bytes, _)| (tag, bytes))
             .collect();
-        let narrow = db.query_with(q_narrow, &opts).expect("narrow").0;
+        let narrow = db
+            .finalize()
+            .expect("finalize")
+            .query_with(q_narrow, &opts)
+            .expect("narrow")
+            .0;
         let trace_narrow = db.host_trace().unwrap();
         let wire_narrow: Vec<(String, u64)> = transcript(&db)
             .into_iter()
@@ -185,15 +199,16 @@ fn padding_quantises_visible_volume() {
     .expect("load");
 
     let vis_bytes = |db: &mut GhostDb, branch: &str, padded: bool| -> u64 {
-        let opts = QueryOptions {
-            // Pin the strategy so the shipment shape is identical across
-            // the two selections; only the volume may differ.
-            strategy: Some(Strategy::CrossPre),
-            padded,
-            ..Default::default()
-        };
+        // Pin the strategy so the shipment shape is identical across
+        // the two selections; only the volume may differ.
+        let opts = QueryOptions::new()
+            .strategy(Strategy::CrossPre)
+            .padded(padded);
         let sql = format!("SELECT T.secret FROM T WHERE T.branch = '{branch}' AND T.secret >= 0");
-        db.query_with(&sql, &opts).expect("query");
+        db.finalize()
+            .expect("finalize")
+            .query_with(&sql, &opts)
+            .expect("query");
         db.host_trace()
             .unwrap()
             .events()
@@ -229,16 +244,14 @@ fn padded_results_equal_unpadded() {
     let mut exact_db = world(0);
     let mut padded_db = world(0);
     let (exact_rows, exact_report) = exact_db
+        .finalize()
+        .expect("finalize")
         .query_with(Q, &QueryOptions::default())
         .expect("exact");
     let (padded_rows, padded_report) = padded_db
-        .query_with(
-            Q,
-            &QueryOptions {
-                padded: true,
-                ..Default::default()
-            },
-        )
+        .finalize()
+        .expect("finalize")
+        .query_with(Q, &QueryOptions::new().padded(true))
         .expect("padded");
     assert_eq!(exact_rows.columns, padded_rows.columns);
     assert_eq!(
