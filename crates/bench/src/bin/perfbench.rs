@@ -46,11 +46,14 @@ use ghostdb_exec::strategy::VisStrategy;
 use ghostdb_exec::{
     CiPrefetch, ExecCtx, ExecOptions, ExecReport, GhostDbServer, ServeConfig, SpillPolicy,
 };
-use ghostdb_flash::{FlashDevice, FlashGeometry, FlashTiming, SegmentAllocator};
+use ghostdb_flash::{
+    FlashDevice, FlashGeometry, FlashTiming, Segment, SegmentAllocator, SimDuration,
+};
 use ghostdb_index::{ClimbingSpec, FkData, IndexBuilder, LevelSpec};
 use ghostdb_storage::idlist::write_id_list;
 use ghostdb_storage::schema::paper_synthetic_schema;
 use ghostdb_storage::Id;
+use ghostdb_storage::IdListReader;
 use ghostdb_token::RamArena;
 use std::sync::Arc;
 use std::time::Instant;
@@ -1053,6 +1056,109 @@ fn micro_sjoin(scale: f64, warmup: usize, iters: usize, out: &mut Vec<BenchEntry
     }));
 }
 
+/// Disjoint-chip channel scaling on the sharded flash device — the
+/// multi-chip array's bank gate. Four independent id-list jobs (write +
+/// full readback) run against a 4-chip device three ways: all through one
+/// chip slice (`serial`), pinned round-robin onto 2 chips (`x2`), and onto
+/// all 4 (`x4`) — the same per-chip slice carving `ExecCtx::run_lanes`
+/// performs, issued through forked per-chunk device handles. Every per-op
+/// cost is placement-independent, so issue order cannot change any chip's
+/// busy time: the channel-makespan delta (busiest chip) is exactly the
+/// completion time of that many concurrently streaming channels, measured
+/// deterministically even on a single-core host. `simulated_s` carries the
+/// single-channel issue sum for `serial` and the makespan for `x2`/`x4`;
+/// the ≥1.7x / ≥3x scaling floors are asserted right here, so every
+/// perfbench run doubles as the lane-scaling smoke gate.
+fn micro_lanes(warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
+    const CHIPS: usize = 4;
+    const JOBS: usize = 4;
+    const IDS_PER_JOB: u64 = 20_000;
+    let mut dev = FlashDevice::with_chips(
+        FlashGeometry::for_capacity(8 * 1024 * 1024),
+        FlashTiming::default(),
+        CHIPS,
+    );
+    let mut alloc = SegmentAllocator::with_chips(dev.logical_pages(), CHIPS);
+    let ram = RamArena::paper_default();
+    let chip_pages = dev.chip_pages();
+    let page_size = dev.page_size();
+    let mut ratios = [0.0f64; 3];
+    for (slot, (lanes, name)) in [
+        (1usize, "micro/lanes/serial"),
+        (2, "micro/lanes/x2"),
+        (4, "micro/lanes/x4"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let ratio = &mut ratios[slot];
+        let dev = &mut dev;
+        let alloc = &mut alloc;
+        out.push(measure(name, warmup, iters, || {
+            let io_before = dev.stats();
+            let busy_before: Vec<SimDuration> = (0..CHIPS).map(|c| dev.chip_elapsed(c)).collect();
+            // One slice per lane, lane j pinned to chip j (run_lanes's
+            // round-robin over eligible chips), each lane driving its own
+            // forked handle — per-op, per-chip lock scopes, no whole-device
+            // critical section.
+            let mut lane_rt: Vec<(FlashDevice, SegmentAllocator, Segment)> = (0..lanes)
+                .map(|j| {
+                    let c = j as u64;
+                    let seg = alloc
+                        .alloc_in_range(chip_pages / 2, c * chip_pages, (c + 1) * chip_pages)
+                        .expect("lane slice");
+                    let slice = SegmentAllocator::over(seg.start(), seg.pages());
+                    (dev.fork(), slice, seg)
+                })
+                .collect();
+            let mut ops = 0u64;
+            for i in 0..JOBS {
+                let (fork, slice, _) = &mut lane_rt[i % lanes];
+                let ids: Vec<Id> = (0..IDS_PER_JOB)
+                    .map(|k| (i as u64 * 1_000_000 + k) as Id)
+                    .collect();
+                let list = write_id_list(fork, slice, &ram, &ids).expect("write id list");
+                let mut r = IdListReader::open(list, &ram, page_size).expect("open id list");
+                while r.next_id(fork).expect("read id").is_some() {
+                    ops += 1;
+                }
+            }
+            let deltas: Vec<u128> = (0..CHIPS)
+                .map(|c| dev.chip_elapsed(c).as_ns() - busy_before[c].as_ns())
+                .collect();
+            let sum: u128 = deltas.iter().sum();
+            let makespan: u128 = *deltas.iter().max().expect("chips > 0");
+            let io = dev.stats() - io_before;
+            // Return the slices (trim is metadata-only, so the busy window
+            // measured above is unaffected).
+            for (_, _, seg) in lane_rt {
+                alloc.free(seg, dev).expect("free lane slice");
+            }
+            *ratio = sum as f64 / makespan.max(1) as f64;
+            let sim_ns = if lanes == 1 { sum } else { makespan };
+            RunStats {
+                simulated_s: sim_ns as f64 / 1e9,
+                ops,
+                bytes_io: io.bytes_to_ram + io.bytes_from_ram,
+            }
+        }));
+    }
+    eprintln!(
+        "perfbench: lane channel scaling — x2 {:.2}x, x4 {:.2}x \
+         (single-channel issue sum / busiest chip)",
+        ratios[1], ratios[2]
+    );
+    for (lanes, floor, got) in [(2usize, 1.7f64, ratios[1]), (4, 3.0, ratios[2])] {
+        if got < floor {
+            eprintln!(
+                "perfbench: micro/lanes/x{lanes}: channel makespan speedup {got:.2}x is \
+                 below the {floor}x floor — disjoint-chip lanes are not scaling"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 /// The batch scheduler's traversal sharing in isolation: 8 queued queries
 /// probing the same climbing-index range, run as 8 independent traversals
 /// (what the unbatched server does) vs one banked all-levels traversal
@@ -1236,6 +1342,7 @@ fn main() {
     micro_ci_probe(warmup, iters, &mut entries);
     micro_ci_multi(warmup, iters, &mut entries);
     micro_sjoin(opts.scale, warmup, iters, &mut entries);
+    micro_lanes(warmup, iters, &mut entries);
     if opts.serve {
         micro_serve(warmup, iters, &mut entries);
     }

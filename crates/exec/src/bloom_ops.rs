@@ -34,7 +34,7 @@ impl BloomHandle {
 /// `op` attributes the build I/O: `Bloom` during select-join processing,
 /// `ProjBloom` during projection.
 pub fn build_bloom(
-    ctx: &mut ExecCtx<'_, '_>,
+    ctx: &mut ExecCtx<'_>,
     op: OpKind,
     n: u64,
     sources: &[IdSource],
@@ -70,10 +70,10 @@ pub fn build_bloom(
 /// Build a Bloom filter from an ID iterator already streaming through the
 /// token (e.g. a pipelined merge); the caller attributes the producer's I/O.
 pub fn build_bloom_from_iter(
-    ctx: &mut ExecCtx<'_, '_>,
+    ctx: &mut ExecCtx<'_>,
     n_estimate: u64,
     budget_bytes: usize,
-    mut next: impl FnMut(&mut ExecCtx<'_, '_>) -> Result<Option<Id>>,
+    mut next: impl FnMut(&mut ExecCtx<'_>) -> Result<Option<Id>>,
 ) -> Result<Option<BloomHandle>> {
     let Some(cal) = calibrate(n_estimate, budget_bytes) else {
         return Ok(None);

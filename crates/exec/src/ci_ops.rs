@@ -109,7 +109,7 @@ impl CiPrefetch {
 }
 
 /// Resolve the level index of `target` in `ci`, erroring with context.
-pub fn level_of(ctx: &ExecCtx<'_, '_>, ci: &ClimbingIndex, target: TableId) -> Result<usize> {
+pub fn level_of(ctx: &ExecCtx<'_>, ci: &ClimbingIndex, target: TableId) -> Result<usize> {
     ci.level_of(target).ok_or_else(|| {
         ExecError::StrategyNotApplicable(format!(
             "index on {}.{} does not climb to {}",
@@ -123,7 +123,7 @@ pub fn level_of(ctx: &ExecCtx<'_, '_>, ci: &ClimbingIndex, target: TableId) -> R
 /// `CI(I, attribute θ value, target)`: one sorted sublist per matching
 /// entry.
 pub fn select_sublists(
-    ctx: &mut ExecCtx<'_, '_>,
+    ctx: &mut ExecCtx<'_>,
     ci: &ClimbingIndex,
     pred: &Predicate,
     target: TableId,
@@ -169,7 +169,7 @@ pub fn select_sublists(
 /// differential suite (`ci_multi_equivalence`) and the `micro/ci/multi-*`
 /// perfbench pair hold the two to identical sublists.
 pub fn select_sublists_multi(
-    ctx: &mut ExecCtx<'_, '_>,
+    ctx: &mut ExecCtx<'_>,
     ci: &ClimbingIndex,
     pred: &Predicate,
     targets: &[TableId],
@@ -210,7 +210,7 @@ pub fn select_sublists_multi(
 /// pages and re-copies every payload once per level, so it is the honest
 /// baseline the single-traversal path is judged against.
 pub fn naive_select_sublists_multi(
-    ctx: &mut ExecCtx<'_, '_>,
+    ctx: &mut ExecCtx<'_>,
     ci: &ClimbingIndex,
     pred: &Predicate,
     targets: &[TableId],
@@ -243,7 +243,7 @@ pub fn naive_select_sublists_multi(
 /// ids falling in the same leaf are resolved in place without per-id
 /// root-to-leaf descents.
 pub fn probe_in(
-    ctx: &mut ExecCtx<'_, '_>,
+    ctx: &mut ExecCtx<'_>,
     ci: &ClimbingIndex,
     probe_ids: &[Id],
     target: TableId,

@@ -8,11 +8,16 @@
 //!   hidden images, SKTs, climbing indexes and the untrusted PC. `Copy`, so
 //!   every worker sees the same catalog at zero cost.
 //! * [`DeviceLane`] — the per-worker **device** lane: a flash handle
-//!   (exclusive on the serial path, mutex-mediated under intra-query
-//!   fan-out), a RAM arena, a segment-allocator slice and a temp registry.
-//!   The lane mirrors every flash counter delta it causes into a
-//!   **lane-local** [`FlashStats`], which is what makes cost tracking
-//!   reentrant: concurrent lanes never read each other's deltas.
+//!   (the token's own on the serial path, a [`FlashDevice::fork`] under
+//!   intra-query fan-out), a RAM arena, a segment-allocator slice and a
+//!   temp registry. The lane mirrors every flash counter delta it causes
+//!   into a **lane-local** [`FlashStats`], which is what makes cost
+//!   tracking reentrant: concurrent lanes never read each other's deltas.
+//!   Locking is **per page operation, per chip** inside the device — a
+//!   whole tracked operator scope (an entire MJoin dict-fill) no longer
+//!   holds any device-wide lock, so per-row CPU work overlaps across
+//!   lanes, and lanes whose allocator slices sit on disjoint chips never
+//!   contend at all.
 //! * [`CostScope`] — the per-worker **cost** lane: local `OpKind →
 //!   SimDuration` accumulation, merged into the parent scope in canonical
 //!   operator order when workers join. Merging is associative and
@@ -21,9 +26,10 @@
 //!
 //! [`ExecCtx`] recomposes the three lanes (plus the channel, root lane
 //! only) and is what operators borrow. [`ExecCtx::run_lanes`] is the
-//! intra-query fan-out point: it shares the flash device behind a mutex,
-//! gives each worker a fresh arena, an allocator slice and an empty cost
-//! scope, and deterministically merges results and attribution back.
+//! intra-query fan-out point: it gives each worker a forked device
+//! handle, a fresh arena, an allocator slice carved on a GC-unpressured
+//! chip and an empty cost scope, and deterministically merges results
+//! and attribution back.
 
 use crate::database::Database;
 use crate::error::ExecError;
@@ -114,29 +120,19 @@ impl<'a> CatalogCtx<'a> {
     }
 }
 
-/// The flash device shared across concurrent lanes: one token chip, many
-/// workers, every access serialised through the mutex. Placement inside the
-/// FTL then depends on scheduling, but no *cost* does: every read/write is
-/// charged by its own counters, which are placement-independent.
-#[derive(Debug)]
-pub struct SharedFlash<'d> {
-    dev: Mutex<&'d mut FlashDevice>,
-}
-
-/// A lane's access path to the flash device.
-#[derive(Debug)]
-pub enum FlashHandle<'a, 'd> {
-    /// Exclusive access (the serial path: zero synchronisation).
-    Own(&'a mut FlashDevice),
-    /// Mutex-mediated access (a worker lane under intra-query fan-out).
-    Shared(&'a SharedFlash<'d>),
-}
-
 /// The per-worker device lane: flash handle + RAM arena + allocator slice +
 /// temp registry, with a lane-local mirror of the flash counters.
+///
+/// The flash handle is exclusive to the lane ([`FlashDevice`] is itself a
+/// forkable handle over the shared chip array): the serial path borrows
+/// the token's own handle, worker lanes own a fork. All synchronisation
+/// happens *inside* the device, per chip and per page operation, so a
+/// lane never holds a device-wide lock across an operator scope — and the
+/// handle-local `snapshot`/`stats_since` the mirror is built on stays
+/// exact while sibling lanes drive the same chips.
 #[derive(Debug)]
-pub struct DeviceLane<'a, 'd> {
-    flash: FlashHandle<'a, 'd>,
+pub struct DeviceLane<'a> {
+    flash: &'a mut FlashDevice,
     ram: RamArena,
     alloc: &'a mut SegmentAllocator,
     temps: Vec<Segment>,
@@ -146,17 +142,11 @@ pub struct DeviceLane<'a, 'd> {
     page_size: usize,
 }
 
-impl<'a, 'd> DeviceLane<'a, 'd> {
-    /// Build a lane over its resources. `flash` decides whether the lane is
-    /// exclusive (serial) or shares the device with sibling workers.
-    pub fn new(flash: FlashHandle<'a, 'd>, ram: RamArena, alloc: &'a mut SegmentAllocator) -> Self {
-        let (timing, page_size) = match &flash {
-            FlashHandle::Own(dev) => (*dev.timing(), dev.page_size()),
-            FlashHandle::Shared(s) => {
-                let dev = s.dev.lock().expect("flash mutex");
-                (*dev.timing(), dev.page_size())
-            }
-        };
+impl<'a> DeviceLane<'a> {
+    /// Build a lane over its resources. `flash` is the lane's exclusive
+    /// handle: the token's own on the serial path, a fork on worker lanes.
+    pub fn new(flash: &'a mut FlashDevice, ram: RamArena, alloc: &'a mut SegmentAllocator) -> Self {
+        let (timing, page_size) = (*flash.timing(), flash.page_size());
         DeviceLane {
             flash,
             ram,
@@ -169,36 +159,27 @@ impl<'a, 'd> DeviceLane<'a, 'd> {
     }
 
     /// Run `f` against the flash device, mirroring the counter delta it
-    /// causes into the lane-local [`FlashStats`]. Under a shared handle the
-    /// device mutex is held exactly for the duration of `f`.
+    /// causes into the lane-local [`FlashStats`]. Chip locks are acquired
+    /// (and released) per page operation inside the device, never across
+    /// `f` as a whole.
     pub fn with_flash<T>(&mut self, f: impl FnOnce(&mut FlashDevice) -> T) -> T {
         self.with_flash_delta(f).0
     }
 
     /// [`Self::with_flash`], also returning the counter delta `f` caused —
     /// the hot-path variant per-operation attribution is built on (one
-    /// snapshot, no re-derivation from the monotone lane counter).
+    /// snapshot, no re-derivation from the monotone lane counter). The
+    /// delta diffs this handle's local counter, so it is exact even while
+    /// sibling lanes drive the same chips.
     pub fn with_flash_delta<T>(
         &mut self,
         f: impl FnOnce(&mut FlashDevice) -> T,
     ) -> (T, FlashStats) {
-        match &mut self.flash {
-            FlashHandle::Own(dev) => {
-                let start = dev.snapshot();
-                let out = f(dev);
-                let d = dev.stats_since(&start);
-                self.io += d;
-                (out, d)
-            }
-            FlashHandle::Shared(shared) => {
-                let mut guard = shared.dev.lock().expect("flash mutex");
-                let start = guard.snapshot();
-                let out = f(&mut guard);
-                let d = guard.stats_since(&start);
-                self.io += d;
-                (out, d)
-            }
-        }
+        let start = self.flash.snapshot();
+        let out = f(self.flash);
+        let d = self.flash.stats_since(&start);
+        self.io += d;
+        (out, d)
     }
 
     /// Run `f` with both the device and this lane's allocator (bulk loads
@@ -207,23 +188,16 @@ impl<'a, 'd> DeviceLane<'a, 'd> {
         &mut self,
         f: impl FnOnce(&mut FlashDevice, &mut SegmentAllocator) -> T,
     ) -> T {
-        let alloc = &mut *self.alloc;
-        match &mut self.flash {
-            FlashHandle::Own(dev) => {
-                let start = dev.snapshot();
-                let out = f(dev, alloc);
-                self.io += dev.stats_since(&start);
-                out
-            }
-            FlashHandle::Shared(shared) => {
-                let mut guard = shared.dev.lock().expect("flash mutex");
-                let start = guard.snapshot();
-                let out = f(&mut guard, alloc);
-                let d = guard.stats_since(&start);
-                self.io += d;
-                out
-            }
-        }
+        let start = self.flash.snapshot();
+        let out = f(self.flash, self.alloc);
+        self.io += self.flash.stats_since(&start);
+        out
+    }
+
+    /// A fresh handle onto this lane's device with zeroed local counters
+    /// (what a worker lane is built over).
+    pub fn fork_device(&self) -> FlashDevice {
+        self.flash.fork()
     }
 
     /// The RAM arena (cheap clone of the shared handle).
@@ -271,21 +245,6 @@ impl<'a, 'd> DeviceLane<'a, 'd> {
     /// Register a temp segment to free when the query finishes.
     pub fn add_temp(&mut self, seg: Segment) {
         self.temps.push(seg);
-    }
-
-    /// Run `f` with this lane's device shared behind a mutex (building one
-    /// if the lane currently owns the device exclusively). The closure gets
-    /// the [`SharedFlash`] worker lanes can be built over.
-    fn with_shared<R>(&mut self, f: impl for<'x, 'y> FnOnce(&'x SharedFlash<'y>) -> R) -> R {
-        match &mut self.flash {
-            FlashHandle::Shared(shared) => f(shared),
-            FlashHandle::Own(dev) => {
-                let shared = SharedFlash {
-                    dev: Mutex::new(&mut **dev),
-                };
-                f(&shared)
-            }
-        }
     }
 }
 
@@ -352,11 +311,11 @@ impl CostScope {
 /// Execution state threaded through every operator: the three lanes, plus
 /// the channel on the root lane (worker lanes never talk to the PC — every
 /// shipment is prefetched before a fan-out).
-pub struct ExecCtx<'a, 'd> {
+pub struct ExecCtx<'a> {
     /// The shared read-only catalog lane.
     pub cat: CatalogCtx<'a>,
     /// This worker's device lane.
-    pub lane: DeviceLane<'a, 'd>,
+    pub lane: DeviceLane<'a>,
     /// This worker's cost lane.
     pub cost: CostScope,
     /// Intra-query worker budget for `run_lanes` (1 = serial).
@@ -376,8 +335,8 @@ pub struct ExecCtx<'a, 'd> {
     track_depth: u32,
 }
 
-impl<'a> ExecCtx<'a, 'a> {
-    /// Build a root context over a database (exclusive device access).
+impl<'a> ExecCtx<'a> {
+    /// Build a root context over a database (the token's own resources).
     pub fn new(db: &'a mut Database) -> Self {
         let token = &mut db.token;
         ExecCtx {
@@ -389,11 +348,7 @@ impl<'a> ExecCtx<'a, 'a> {
                 cis: &db.cis,
                 untrusted: &db.untrusted,
             },
-            lane: DeviceLane::new(
-                FlashHandle::Own(&mut token.flash),
-                token.ram.clone(),
-                &mut db.alloc,
-            ),
+            lane: DeviceLane::new(&mut token.flash, token.ram.clone(), &mut db.alloc),
             cost: CostScope::new(),
             intra: 1,
             spill: SpillPolicy::default(),
@@ -403,9 +358,29 @@ impl<'a> ExecCtx<'a, 'a> {
             track_depth: 0,
         }
     }
-}
 
-impl<'a, 'd> ExecCtx<'a, 'd> {
+    /// Build a context from explicitly assembled parts: a catalog (with a
+    /// possibly forked untrusted host), a device lane over any flash
+    /// handle/arena/allocator, and an optional channel. This is the serve
+    /// worker path — per-query isolated resources standing in for the
+    /// token's own.
+    pub(crate) fn from_parts(
+        cat: CatalogCtx<'a>,
+        lane: DeviceLane<'a>,
+        channel: Option<&'a mut Channel>,
+    ) -> Self {
+        ExecCtx {
+            cat,
+            lane,
+            cost: CostScope::new(),
+            intra: 1,
+            spill: SpillPolicy::default(),
+            padded: false,
+            prefetch: None,
+            channel,
+            track_depth: 0,
+        }
+    }
     /// The RAM arena (cheap clone of the shared handle).
     pub fn ram(&self) -> RamArena {
         self.lane.ram()
@@ -541,28 +516,36 @@ impl<'a, 'd> ExecCtx<'a, 'd> {
     /// `self.intra` worker lanes and return their results in job order.
     ///
     /// Each worker runs on its own [`DeviceLane`] (fresh RAM arena of the
-    /// same geometry, a carved segment-allocator slice, the flash device
-    /// shared behind a mutex) and its own [`CostScope`]; scopes merge back
-    /// into the parent in job order. Because every job issues exactly the
-    /// flash operations it would issue serially, and every per-operation
-    /// cost is placement-independent, results AND per-operator attribution
-    /// are bit-identical to the serial loop (locked by the intra
-    /// equivalence suite).
+    /// same geometry, a segment-allocator slice carved on a GC-unpressured
+    /// chip, a forked flash handle onto the shared chip array) and its own
+    /// [`CostScope`]; scopes merge back into the parent in job order.
+    /// Because every job issues exactly the flash operations it would
+    /// issue serially, and every per-operation cost is
+    /// placement-independent, results AND per-operator attribution are
+    /// bit-identical to the serial loop (locked by the intra equivalence
+    /// suite). Lanes whose slices land on disjoint chips never contend;
+    /// lanes sharing a chip serialise per page operation inside the
+    /// device, so per-row CPU work still overlaps.
     ///
     /// Falls back to the serial loop on this lane when `intra <= 1`, when
     /// there is at most one job, when the parent arena still holds buffers
     /// (worker arenas start empty, so a non-empty baseline would change
     /// RAM-driven decisions), when the allocator cannot carve a meaningful
     /// slice per worker (including a fragmented free list refusing a carve
-    /// the page count allowed), or when the flash device is close enough to
-    /// its GC watermark that the fan-out's own writes could trigger
-    /// collection.
+    /// the page count allowed), or when **every** chip is close enough to
+    /// its GC watermark that a fan-out's writes could trigger collection.
+    /// GC pressure is judged per chip: a pressured chip simply stops
+    /// hosting lane slices (its data stays readable — reads never program
+    /// pages) while lanes keep fanning out across the unpressured chips;
+    /// only a device with no unpressured chip left forces the whole
+    /// fan-out serial. On a single-chip device this degenerates to the
+    /// old all-or-nothing check.
     ///
     /// GC is the one scheduling-dependent cost: interleaved worker writes
     /// land in the FTL in thread-timing order, so a collection pass over
     /// such blocks has timing-dependent relocation counts. Three defences
     /// keep reports serial-identical: the headroom precondition keeps a
-    /// fan-out from driving the device to the watermark itself, the
+    /// fan-out from driving any chip to its watermark itself, the
     /// GC-taint window below tears down and serially replays any attempt a
     /// collection did overlap, and free_temps trims every worker page at
     /// query end so fan-out data does not linger as GC fodder. A workload
@@ -575,7 +558,7 @@ impl<'a, 'd> ExecCtx<'a, 'd> {
     pub fn run_lanes<T: Send>(
         &mut self,
         jobs: usize,
-        work: impl Fn(&mut ExecCtx<'_, '_>, usize) -> Result<T> + Sync,
+        work: impl Fn(&mut ExecCtx<'_>, usize) -> Result<T> + Sync,
     ) -> Result<Vec<T>> {
         debug_assert_eq!(
             self.track_depth, 0,
@@ -583,30 +566,63 @@ impl<'a, 'd> ExecCtx<'a, 'd> {
              lands on worker lanes and would escape the enclosing window"
         );
         let lanes = self.intra.min(jobs);
-        let serial = lanes <= 1 || self.lane.ram().in_use() != 0;
-        // Carve one allocator slice per worker, keeping an equal share in
-        // reserve for the parent's own later allocations.
+        if lanes <= 1 || self.lane.ram().in_use() != 0 {
+            return (0..jobs).map(|i| work(self, i)).collect();
+        }
         const MIN_SLICE_PAGES: u64 = 64;
-        let per_lane = self.lane.alloc().free_pages() / (lanes as u64 + 1);
-        // Stay well clear of the GC watermark: GC only fires near physical
-        // exhaustion, so refuse to fan out once less than 1/8 of the
-        // device's physical pages remain programmable before a collection
-        // could start. Within that margin typical temp bursts cannot reach
-        // the watermark; the taint window below remains the hard guard.
-        let (headroom, physical_pages) = self.lane.with_flash(|dev| {
-            let g = *dev.geometry();
-            (dev.gc_headroom_pages(), g.block_count * g.pages_per_block)
+        // Per-chip GC pressure: GC only fires near physical exhaustion, so
+        // a chip is eligible to host lane slices while at least 1/8 of its
+        // physical pages remain programmable before a collection could
+        // start. Within that margin typical temp bursts cannot reach the
+        // watermark; the taint window below remains the hard guard.
+        let (chips, chip_pages, chip_physical) = self.lane.with_flash(|dev| {
+            (
+                dev.chip_count() as u64,
+                dev.chip_pages(),
+                dev.geometry().physical_pages(),
+            )
         });
-        if serial || per_lane < MIN_SLICE_PAGES || headroom * 8 < physical_pages {
+        let mut eligible: Vec<u64> = Vec::new();
+        for c in 0..chips {
+            let headroom = self.lane.with_flash(|dev| dev.gc_headroom_of(c as usize));
+            if headroom * 8 >= chip_physical {
+                eligible.push(c);
+            }
+        }
+        if eligible.is_empty() {
+            return (0..jobs).map(|i| work(self, i)).collect();
+        }
+        // Round-robin lanes over the eligible chips; size each lane's
+        // slice as an equal share of its chip's free pages, keeping one
+        // share per chip in reserve for the parent's own later
+        // allocations.
+        let lane_chip: Vec<u64> = (0..lanes).map(|j| eligible[j % eligible.len()]).collect();
+        let mut lanes_on = vec![0u64; chips as usize];
+        for &c in &lane_chip {
+            lanes_on[c as usize] += 1;
+        }
+        let mut slice_pages: Vec<u64> = Vec::with_capacity(lanes);
+        for &c in &lane_chip {
+            let free = self
+                .lane
+                .alloc()
+                .free_in_range(c * chip_pages, (c + 1) * chip_pages);
+            slice_pages.push(free / (lanes_on[c as usize] + 1));
+        }
+        if slice_pages.iter().any(|&p| p < MIN_SLICE_PAGES) {
             return (0..jobs).map(|i| work(self, i)).collect();
         }
         let mut carves: Vec<Segment> = Vec::with_capacity(lanes);
         let mut slices: Vec<SegmentAllocator> = Vec::with_capacity(lanes);
-        for _ in 0..lanes {
+        for (j, &c) in lane_chip.iter().enumerate() {
             // A fragmented free list can refuse a carve the page count
             // allowed: return what was carved and run serially instead of
             // failing the query (and leaking the partial carves).
-            match self.lane.alloc().alloc(per_lane) {
+            match self.lane.alloc().alloc_in_range(
+                slice_pages[j],
+                c * chip_pages,
+                (c + 1) * chip_pages,
+            ) {
                 Ok(seg) => {
                     slices.push(SegmentAllocator::over(seg.start(), seg.pages()));
                     carves.push(seg);
@@ -627,13 +643,14 @@ impl<'a, 'd> ExecCtx<'a, 'd> {
         let padded = self.padded;
         let prefetch = self.prefetch;
         let arena = self.lane.ram();
+        let proto = self.lane.fork_device();
         // GC placement is the one scheduling-dependent cost in the FTL: if
         // garbage collection fires while workers interleave writes, victim
         // selection (and so relocation counts) depends on thread timing.
         // Snapshot the GC counters around the attempt; a GC-tainted run is
         // torn down and replayed serially below.
         let gc_before = self.lane.with_flash(|dev| dev.stats());
-        let results: Result<Vec<(T, CostScope)>> = self.lane.with_shared(|shared| {
+        let results: Result<Vec<(T, CostScope)>> = {
             let pool = Mutex::new(slices);
             crate::parallel::fan_out(
                 jobs,
@@ -647,16 +664,13 @@ impl<'a, 'd> ExecCtx<'a, 'd> {
                     Ok(WorkerLane {
                         alloc,
                         arena: arena.fresh_like(),
+                        flash: proto.fork(),
                     })
                 },
                 |w, i| {
                     let mut ctx = ExecCtx {
                         cat,
-                        lane: DeviceLane::new(
-                            FlashHandle::Shared(shared),
-                            w.arena.clone(),
-                            &mut w.alloc,
-                        ),
+                        lane: DeviceLane::new(&mut w.flash, w.arena.clone(), &mut w.alloc),
                         cost: CostScope::new(),
                         // Workers never re-fan: one level of intra-query
                         // parallelism keeps scheduling analysable.
@@ -674,7 +688,7 @@ impl<'a, 'd> ExecCtx<'a, 'd> {
                     Ok((out, scope))
                 },
             )
-        });
+        };
         let gc_after = self.lane.with_flash(|dev| dev.stats());
         let gc_fired = gc_after.blocks_erased != gc_before.blocks_erased
             || gc_after.gc_pages_read != gc_before.gc_pages_read
@@ -719,10 +733,12 @@ impl<'a, 'd> ExecCtx<'a, 'd> {
 
 /// Per-worker state of an intra-query fan-out: a fresh arena (same
 /// geometry as the token's, so RAM-driven decisions match the serial path
-/// exactly) and a carved allocator slice.
+/// exactly), an allocator slice carved on one chip, and a forked handle
+/// onto the shared chip array.
 struct WorkerLane {
     alloc: SegmentAllocator,
     arena: RamArena,
+    flash: FlashDevice,
 }
 
 #[cfg(test)]
@@ -797,7 +813,7 @@ mod tests {
         // parent can read every list back and the Store attribution equals
         // the serial run's.
         let mut db = testkit::tiny_db();
-        let write_lists = |ctx: &mut ExecCtx<'_, '_>| -> (Vec<Vec<Id>>, CostScope) {
+        let write_lists = |ctx: &mut ExecCtx<'_>| -> (Vec<Vec<Id>>, CostScope) {
             let lists = ctx
                 .run_lanes(4, |ctx, i| {
                     let ram = ctx.ram();

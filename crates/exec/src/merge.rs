@@ -28,7 +28,7 @@ pub struct MergeStream {
 
 impl MergeStream {
     /// Pull the next ID, attributing its I/O to `Merge`.
-    pub fn next(&mut self, ctx: &mut ExecCtx<'_, '_>) -> Result<Option<Id>> {
+    pub fn next(&mut self, ctx: &mut ExecCtx<'_>) -> Result<Option<Id>> {
         ctx.tracked(OpKind::Merge, |dev| self.intersect.next(dev))
     }
 }
@@ -68,7 +68,7 @@ fn pick_spill_group(groups: &[Vec<IdSource>], policy: SpillPolicy) -> Option<usi
 /// into single temp lists until one buffer per remaining sublist fits in
 /// `available - reserve` buffers. Reduction I/O (reads *and* temp writes)
 /// is Merge cost, matching the paper's accounting of its multi-pass nature.
-fn reduce(ctx: &mut ExecCtx<'_, '_>, groups: &mut [Vec<IdSource>], reserve: usize) -> Result<()> {
+fn reduce(ctx: &mut ExecCtx<'_>, groups: &mut [Vec<IdSource>], reserve: usize) -> Result<()> {
     loop {
         let avail = ctx.ram().available().saturating_sub(reserve);
         if flash_sources(groups) <= avail {
@@ -109,7 +109,7 @@ fn reduce(ctx: &mut ExecCtx<'_, '_>, groups: &mut [Vec<IdSource>], reserve: usiz
 }
 
 /// Union a batch of sources into a fresh temp list.
-fn union_to_temp(ctx: &mut ExecCtx<'_, '_>, batch: &[IdSource]) -> Result<IdList> {
+fn union_to_temp(ctx: &mut ExecCtx<'_>, batch: &[IdSource]) -> Result<IdList> {
     let max_ids: u64 = batch.iter().map(|s| s.count()).sum();
     let page_size = ctx.page_size();
     let ram = ctx.ram();
@@ -132,7 +132,7 @@ fn union_to_temp(ctx: &mut ExecCtx<'_, '_>, batch: &[IdSource]) -> Result<IdList
 /// downstream consumer (pipelining budget, §3.4). Runs the reduction phase
 /// if needed.
 pub fn open_merge(
-    ctx: &mut ExecCtx<'_, '_>,
+    ctx: &mut ExecCtx<'_>,
     mut groups: Vec<Vec<IdSource>>,
     reserve: usize,
 ) -> Result<MergeStream> {
@@ -150,7 +150,7 @@ pub fn open_merge(
 
 /// Merge to a materialised sorted ID list on flash. Read side is Merge,
 /// output writes are Store.
-pub fn merge_to_list(ctx: &mut ExecCtx<'_, '_>, groups: Vec<Vec<IdSource>>) -> Result<IdList> {
+pub fn merge_to_list(ctx: &mut ExecCtx<'_>, groups: Vec<Vec<IdSource>>) -> Result<IdList> {
     let max_ids: u64 = groups
         .iter()
         .map(|g| g.iter().map(|s| s.count()).sum::<u64>())
@@ -179,7 +179,7 @@ pub fn merge_to_list(ctx: &mut ExecCtx<'_, '_>, groups: Vec<Vec<IdSource>>) -> R
 /// same (zero) simulated cost, far fewer host cycles. `Range` sources stay
 /// on the streaming path: it walks them in O(1) memory, while the set
 /// operations would materialise them.
-pub fn merge_to_vec(ctx: &mut ExecCtx<'_, '_>, groups: Vec<Vec<IdSource>>) -> Result<Vec<Id>> {
+pub fn merge_to_vec(ctx: &mut ExecCtx<'_>, groups: Vec<Vec<IdSource>>) -> Result<Vec<Id>> {
     if groups
         .iter()
         .all(|g| g.iter().all(|s| matches!(s, IdSource::Host(_))))
@@ -193,7 +193,7 @@ pub fn merge_to_vec(ctx: &mut ExecCtx<'_, '_>, groups: Vec<Vec<IdSource>>) -> Re
 /// I/O for flash sources). Public within the crate so equivalence tests
 /// and `perfbench` can pit the host fast path against it.
 pub fn merge_to_vec_streaming(
-    ctx: &mut ExecCtx<'_, '_>,
+    ctx: &mut ExecCtx<'_>,
     groups: Vec<Vec<IdSource>>,
 ) -> Result<Vec<Id>> {
     let mut stream = open_merge(ctx, groups, 0)?;
@@ -350,7 +350,7 @@ mod tests {
         let ram = ctx.ram();
         let page_size = ctx.page_size();
         // Build flash lists: group 0 = two big lists, group 1 = three tiny.
-        let mk = |ctx: &mut crate::ExecCtx<'_, '_>, ids: &[Id]| -> IdSource {
+        let mk = |ctx: &mut crate::ExecCtx<'_>, ids: &[Id]| -> IdSource {
             let mut w =
                 IdListWriter::create(ctx.lane.alloc(), &ram, ids.len() as u64, page_size).unwrap();
             ctx.add_temp(w.segment());

@@ -26,7 +26,7 @@ pub const CROSS_PRE_POST_CUTOFF: f64 = 0.1;
 pub const PRE_POST_CUTOFF: f64 = 0.05;
 
 /// Decide a strategy for every table carrying visible predicates.
-pub fn decide(ctx: &ExecCtx<'_, '_>, a: &Analyzed) -> Result<Vec<VisDecision>> {
+pub fn decide(ctx: &ExecCtx<'_>, a: &Analyzed) -> Result<Vec<VisDecision>> {
     let mut out = Vec::new();
     for (t, preds) in &a.vis_preds {
         let rows = ctx.cat.rows[*t].max(1);

@@ -53,8 +53,8 @@ const _: () = {
     // compile time, right here.
     send_sync::<crate::ctx::CatalogCtx<'static>>();
     send_sync::<crate::ctx::CostScope>();
-    send_sync::<crate::ctx::SharedFlash<'static>>();
-    send::<crate::ctx::DeviceLane<'static, 'static>>();
+    send_sync::<ghostdb_flash::FlashDevice>();
+    send::<crate::ctx::DeviceLane<'static>>();
 };
 
 /// Run `jobs` work items over `threads` scoped workers, each with private

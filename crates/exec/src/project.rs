@@ -99,7 +99,7 @@ struct TablePrep<'q> {
 
 /// Execute projection and deliver the final result set.
 pub fn execute(
-    ctx: &mut ExecCtx<'_, '_>,
+    ctx: &mut ExecCtx<'_>,
     a: &Analyzed,
     sj: SjOutcome,
     algo: ProjectAlgo,
@@ -207,7 +207,7 @@ pub fn execute(
 /// Figure 5, line 1: vertically partition the QEPSJ result into one ID
 /// column per participating table (plus the root column), in root order.
 fn partition(
-    ctx: &mut ExecCtx<'_, '_>,
+    ctx: &mut ExecCtx<'_>,
     root_ids: &RootIds,
     tables: &[TableId],
 ) -> Result<(FlashTable, Vec<FlashTable>)> {
@@ -343,11 +343,7 @@ fn partition(
 /// Figure 5, lines 3–4: Bloom over the table's QEPSJ id column, probed with
 /// the visible ids → σVH. "The Bloom filter is calibrated by default to
 /// occupy the entire RAM" (§5) minus the scan buffers.
-fn sigma_vh(
-    ctx: &mut ExecCtx<'_, '_>,
-    id_col: &FlashTable,
-    vis_ids: &SharedIds,
-) -> Result<IdSource> {
+fn sigma_vh(ctx: &mut ExecCtx<'_>, id_col: &FlashTable, vis_ids: &SharedIds) -> Result<IdSource> {
     let n = id_col.rows();
     let budget = ctx.ram().available().saturating_sub(3) * ctx.ram().buf_size();
     let Some(cal) = calibrate(n, budget) else {
@@ -381,7 +377,7 @@ fn sigma_vh(
 /// into complete tuples held in RAM (capacity minus the scan buffers), then
 /// sweep the table's id column once per RAM-load emitting `<pos, tuple>`.
 fn mjoin(
-    ctx: &mut ExecCtx<'_, '_>,
+    ctx: &mut ExecCtx<'_>,
     t: TableId,
     tproj: &TableProjection,
     rechecks: &[&Predicate],
@@ -550,7 +546,7 @@ fn mjoin(
 
 /// K-way merge of MJoin runs by their `pos` field (field 0), batched so
 /// each merge level holds at most `available - 1` run readers.
-fn merge_runs_by_pos(ctx: &mut ExecCtx<'_, '_>, mut runs: Vec<FlashTable>) -> Result<FlashTable> {
+fn merge_runs_by_pos(ctx: &mut ExecCtx<'_>, mut runs: Vec<FlashTable>) -> Result<FlashTable> {
     loop {
         let fan_in = ctx.ram().available().saturating_sub(1).max(2);
         if runs.len() <= fan_in {
@@ -563,7 +559,7 @@ fn merge_runs_by_pos(ctx: &mut ExecCtx<'_, '_>, mut runs: Vec<FlashTable>) -> Re
 }
 
 /// One merge level over at most `available - 1` runs.
-fn merge_runs_level(ctx: &mut ExecCtx<'_, '_>, runs: Vec<FlashTable>) -> Result<FlashTable> {
+fn merge_runs_level(ctx: &mut ExecCtx<'_>, runs: Vec<FlashTable>) -> Result<FlashTable> {
     let layout = runs[0].layout.clone();
     let total: u64 = runs.iter().map(|r| r.rows()).sum();
     let ram = ctx.ram();
@@ -614,7 +610,7 @@ fn merge_runs_level(ctx: &mut ExecCtx<'_, '_>, runs: Vec<FlashTable>) -> Result<
 /// streams) in position order; a row survives only if every participating
 /// table confirmed its position.
 fn final_join(
-    ctx: &mut ExecCtx<'_, '_>,
+    ctx: &mut ExecCtx<'_>,
     a: &Analyzed,
     sj: &SjOutcome,
     root_col: FlashTable,
@@ -780,7 +776,7 @@ fn final_join(
 /// Figure 12's Brute-Force baseline: load the QEPSJ result into RAM chunk
 /// by chunk and random-access every projected attribute.
 fn brute_force(
-    ctx: &mut ExecCtx<'_, '_>,
+    ctx: &mut ExecCtx<'_>,
     a: &Analyzed,
     sj: &SjOutcome,
     root_col: FlashTable,

@@ -34,14 +34,16 @@
 //! (`tests/serve_equivalence.rs` pins all of this down).
 
 use crate::ci_ops::{CiPrefetch, PrefetchKey};
+use crate::ctx::{CatalogCtx, DeviceLane, ExecCtx};
 use crate::database::Database;
 use crate::error::ExecError;
 use crate::executor::{ExecOptions, Executor};
 use crate::query::{analyze, SpjQuery};
 use crate::report::ExecReport;
 use crate::result::ResultSet;
-use ghostdb_token::TranscriptEntry;
-use ghostdb_untrusted::HostTrace;
+use ghostdb_flash::SegmentAllocator;
+use ghostdb_token::{Channel, RamArena, TranscriptEntry};
+use ghostdb_untrusted::{HostTrace, UntrustedHost};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 
@@ -166,6 +168,10 @@ pub struct BatchStats {
     /// Lower bound on traversals saved: for a key demanded `n` times,
     /// `n - 1` (hits beyond the analyzed demand save more).
     pub saved_traversals: u64,
+    /// Drains whose batch executed on the worker pool (per-query isolated
+    /// resources) rather than the serial loop. Purely observational: the
+    /// outcomes are bit-identical either way.
+    pub parallel_drains: u64,
 }
 
 /// One admitted, not-yet-executed query.
@@ -308,8 +314,18 @@ impl GhostDbServer {
             }
         }
 
-        // Phase 3 — execute in arrival order on the one token core,
-        // capturing each query's observations before the next runs.
+        // Phase 3 — execute the batch. With one worker (or one query) the
+        // serial loop runs each query on the token's own resources, in
+        // arrival order, exactly as a client looping `Executor::run` would.
+        // With more workers, queries run concurrently on per-query isolated
+        // resources — a forked flash handle onto the shared chip array, a
+        // fresh arena and channel, a forked host, an allocator slice carved
+        // in arrival order — and the outcomes are post-processed so every
+        // observable is bit-identical to the serial loop
+        // (`tests/serve_equivalence.rs`). The parallel attempt declines
+        // (returns `None`) near the GC watermark or when slices cannot be
+        // carved, and a GC-tainted attempt is torn down and replayed
+        // serially, so parallel drains are always serial-equivalent.
         let bank = if prefetch.is_empty() {
             None
         } else {
@@ -318,17 +334,57 @@ impl GhostDbServer {
         st.stats.batches += 1;
         st.stats.queries += batch.len() as u64;
         let executed = batch.len();
-        for item in batch {
-            let outcome = match Executor::run_prefetched(&mut st.db, &item.query, &item.opts, bank)
-            {
-                Ok((result, report)) => Ok(QueryOutcome {
-                    result,
-                    report,
-                    trace: st.db.untrusted.trace(),
-                    transcript: st.db.token.channel.transcript().to_vec(),
-                }),
-                Err(e) => Err(ServeError::Exec(e)),
-            };
+        let parallel = if self.cfg.workers > 1 && batch.len() > 1 {
+            run_batch_parallel(&mut st.db, &batch, bank, self.cfg.workers)
+        } else {
+            None
+        };
+        let outcomes: Vec<Result<QueryOutcome, ServeError>> = match parallel {
+            Some(done) => {
+                st.stats.parallel_drains += 1;
+                // Arrival-order arena-peak reconstruction: the serial loop
+                // runs every query on the token arena, whose high-water
+                // mark is monotone across the whole drain, so query i's
+                // report carries max(own peak, all earlier peaks). Worker
+                // jobs each ran on a fresh arena; replay that monotone
+                // accumulation here, then merge the final mark back into
+                // the token arena.
+                let mut running = st.db.token.ram.peak();
+                let mut outcomes = Vec::with_capacity(done.len());
+                for job in done {
+                    running = running.max(job.own_peak);
+                    outcomes.push(match job.outcome {
+                        Ok((result, mut report)) => {
+                            report.peak_ram_buffers = report.peak_ram_buffers.max(running);
+                            Ok(QueryOutcome {
+                                result,
+                                report,
+                                trace: job.trace,
+                                transcript: job.transcript,
+                            })
+                        }
+                        Err(e) => Err(ServeError::Exec(e)),
+                    });
+                }
+                st.db.token.ram.raise_peak(running);
+                outcomes
+            }
+            None => batch
+                .iter()
+                .map(|item| {
+                    match Executor::run_prefetched(&mut st.db, &item.query, &item.opts, bank) {
+                        Ok((result, report)) => Ok(QueryOutcome {
+                            result,
+                            report,
+                            trace: st.db.untrusted.trace(),
+                            transcript: st.db.token.channel.transcript().to_vec(),
+                        }),
+                        Err(e) => Err(ServeError::Exec(e)),
+                    }
+                })
+                .collect(),
+        };
+        for (item, outcome) in batch.into_iter().zip(outcomes) {
             let slot = &mut st.sessions[item.session];
             if let Ok(out) = &outcome {
                 slot.last_trace = Some(out.trace.clone());
@@ -345,6 +401,145 @@ impl GhostDbServer {
         let at = slot.done.iter().position(|(s, _)| *s == seq)?;
         slot.done.remove(at).map(|(_, outcome)| outcome)
     }
+}
+
+/// Everything one parallel drain job produced. The arena peak and the
+/// observations are captured even for failed queries — a failing query
+/// still raised the (monotone) token arena mark in the serial loop, so
+/// reconstruction needs its peak regardless of outcome.
+struct JobDone {
+    outcome: Result<(ResultSet, ExecReport), ExecError>,
+    own_peak: usize,
+    trace: HostTrace,
+    transcript: Vec<TranscriptEntry>,
+}
+
+/// Per-query isolated execution resources of one parallel drain job.
+struct JobRes {
+    flash: ghostdb_flash::FlashDevice,
+    arena: RamArena,
+    alloc: SegmentAllocator,
+    channel: Channel,
+    host: UntrustedHost,
+}
+
+/// Execute a drained batch on the worker pool, one isolated resource set
+/// per query. Returns `None` when the parallel attempt declines or must
+/// be discarded (near the GC watermark, slices unavailable, or GC fired
+/// mid-batch) — the caller then runs the plain serial loop; the attempt
+/// leaves no trace on the token (fresh channels/hosts are dropped, slice
+/// frees trim every page the jobs wrote).
+fn run_batch_parallel(
+    db: &mut Database,
+    batch: &[Queued],
+    bank: Option<&CiPrefetch>,
+    workers: usize,
+) -> Option<Vec<JobDone>> {
+    const MIN_JOB_SLICE_PAGES: u64 = 64;
+    let n = batch.len();
+    // Mirror run_lanes' GC precondition on the weakest chip: near the
+    // watermark the serial loop is the only schedule with deterministic
+    // GC placement.
+    if db.token.flash.gc_headroom_pages() * 8 < db.token.flash.geometry().physical_pages() {
+        return None;
+    }
+    // One allocator slice per query, carved in arrival order under the
+    // drain lock — so flash placement is a pure function of the admitted
+    // sequence, never of worker scheduling. On a chip-striped allocator
+    // successive carves rotate across chips, which is what lets disjoint
+    // queries run on disjoint channels.
+    let per = db.alloc.free_pages() / (n as u64 + 1);
+    if per < MIN_JOB_SLICE_PAGES {
+        return None;
+    }
+    let mut carves = Vec::with_capacity(n);
+    for _ in 0..n {
+        match db.alloc.alloc(per) {
+            Ok(seg) => carves.push(seg),
+            Err(_) => {
+                for seg in carves {
+                    db.alloc
+                        .free(seg, &mut db.token.flash)
+                        .expect("returning an unused drain slice");
+                }
+                return None;
+            }
+        }
+    }
+    let gc_before = db.token.flash.stats();
+    let resources: Vec<Mutex<JobRes>> = carves
+        .iter()
+        .map(|seg| {
+            Mutex::new(JobRes {
+                flash: db.token.flash.fork(),
+                arena: db.token.ram.fresh_like(),
+                alloc: SegmentAllocator::over(seg.start(), seg.pages()),
+                channel: db.token.channel.fresh_like(),
+                host: db.untrusted.fork(),
+            })
+        })
+        .collect();
+    let (schema, rows, hidden, skts, cis) = (&db.schema, &db.rows, &db.hidden, &db.skts, &db.cis);
+    let done: Result<Vec<JobDone>, ExecError> = crate::parallel::fan_out(
+        n,
+        workers,
+        || Ok(()),
+        |_, i| {
+            let mut res = resources[i].lock().expect("job resources");
+            let JobRes {
+                flash,
+                arena,
+                alloc,
+                channel,
+                host,
+            } = &mut *res;
+            let item = &batch[i];
+            let outcome = (|| {
+                item.opts.validate()?;
+                let cat = CatalogCtx {
+                    schema,
+                    rows,
+                    hidden,
+                    skts,
+                    cis,
+                    untrusted: &*host,
+                };
+                let lane = DeviceLane::new(flash, arena.clone(), alloc);
+                let mut ctx = ExecCtx::from_parts(cat, lane, Some(channel));
+                ctx.intra = item.opts.intra_threads;
+                ctx.spill = item.opts.spill_policy;
+                ctx.padded = item.opts.padded;
+                ctx.prefetch = bank;
+                Executor::run_body(&mut ctx, &item.query, &item.opts)
+            })();
+            Ok(JobDone {
+                outcome,
+                own_peak: res.arena.peak(),
+                trace: res.host.trace(),
+                transcript: res.channel.transcript().to_vec(),
+            })
+        },
+    );
+    // Return every slice: frees trim, so any page a job wrote (including
+    // error-path stragglers its own free_temps never reached) is erased
+    // from the logical image before anything else runs.
+    for seg in carves {
+        db.alloc
+            .free(seg, &mut db.token.flash)
+            .expect("returning a drain slice");
+    }
+    let done = done.ok()?;
+    let gc_after = db.token.flash.stats();
+    let gc_fired = gc_after.blocks_erased != gc_before.blocks_erased
+        || gc_after.gc_pages_read != gc_before.gc_pages_read
+        || gc_after.gc_pages_written != gc_before.gc_pages_written;
+    if gc_fired {
+        // Scheduling-dependent relocation costs leaked into the jobs'
+        // lane mirrors: discard everything and let the serial loop replay
+        // the batch with deterministic GC placement.
+        return None;
+    }
+    Some(done)
 }
 
 /// A session handle: the admission and observation endpoint of one

@@ -34,11 +34,11 @@ impl SJoinTable {
 /// `next_id` and receives projected rows via `sink` (id + projected target
 /// ids, in `targets` order). SKT read time is attributed to `SJoin`.
 pub fn sjoin_stream(
-    ctx: &mut ExecCtx<'_, '_>,
+    ctx: &mut ExecCtx<'_>,
     skt: &SubtreeKeyTable,
     targets: &[TableId],
-    mut next_id: impl FnMut(&mut ExecCtx<'_, '_>) -> Result<Option<Id>>,
-    mut sink: impl FnMut(&mut ExecCtx<'_, '_>, Id, &[Id]) -> Result<()>,
+    mut next_id: impl FnMut(&mut ExecCtx<'_>) -> Result<Option<Id>>,
+    mut sink: impl FnMut(&mut ExecCtx<'_>, Id, &[Id]) -> Result<()>,
 ) -> Result<u64> {
     let col_idx: Vec<Option<usize>> = targets
         .iter()
@@ -87,7 +87,7 @@ pub struct SJoinWriter {
 impl SJoinWriter {
     /// Create a writer for up to `max_rows` rows over `owner` + `targets`.
     pub fn create(
-        ctx: &mut ExecCtx<'_, '_>,
+        ctx: &mut ExecCtx<'_>,
         owner: TableId,
         targets: &[TableId],
         max_rows: u64,
@@ -107,7 +107,7 @@ impl SJoinWriter {
     }
 
     /// Append one row (owner id + target ids).
-    pub fn push(&mut self, ctx: &mut ExecCtx<'_, '_>, id: Id, targets: &[Id]) -> Result<()> {
+    pub fn push(&mut self, ctx: &mut ExecCtx<'_>, id: Id, targets: &[Id]) -> Result<()> {
         let mut row = vec![0u8; self.layout.size()];
         self.layout.put_id(&mut row, 0, id);
         for (i, t) in targets.iter().enumerate() {
@@ -117,7 +117,7 @@ impl SJoinWriter {
     }
 
     /// Finish, registering the segment as a query temp.
-    pub fn finish(self, ctx: &mut ExecCtx<'_, '_>) -> Result<SJoinTable> {
+    pub fn finish(self, ctx: &mut ExecCtx<'_>) -> Result<SJoinTable> {
         let writer = self.writer;
         let table = ctx.tracked(OpKind::Store, move |dev| writer.finish(dev))?;
         ctx.add_temp(table.segment());

@@ -142,7 +142,7 @@ struct PostPlan {
 /// strategies. `proj_tables` lists tables the projection phase will need id
 /// columns for (they are folded into the SJoin projection, footnote 7).
 pub fn execute_sj(
-    ctx: &mut ExecCtx<'_, '_>,
+    ctx: &mut ExecCtx<'_>,
     a: &Analyzed,
     decisions: &[VisDecision],
     proj_tables: &[TableId],
@@ -431,7 +431,7 @@ pub fn execute_sj(
 /// chunk by chunk and re-scanning F' per chunk (the multi-pass behaviour
 /// that makes Figure 11's Post-Select curve expensive at low selectivity).
 fn post_select_pass(
-    ctx: &mut ExecCtx<'_, '_>,
+    ctx: &mut ExecCtx<'_>,
     table: SJoinTable,
     t: TableId,
     ids: &[Id],
@@ -493,7 +493,7 @@ fn post_select_pass(
 }
 
 /// K-way merge of SJoin run tables by root id (column 0).
-fn merge_sjoin_runs(ctx: &mut ExecCtx<'_, '_>, runs: Vec<SJoinTable>) -> Result<SJoinTable> {
+fn merge_sjoin_runs(ctx: &mut ExecCtx<'_>, runs: Vec<SJoinTable>) -> Result<SJoinTable> {
     let cols = runs[0].cols.clone();
     let total: u64 = runs.iter().map(|r| r.table.rows()).sum();
     let ram = ctx.ram();

@@ -23,6 +23,13 @@ pub const TINY_ROWS: [u64; 5] = [600, 120, 40, 20, 16];
 /// * every table: `v1 = pad8(id)` (unique), `v2 = pad8(id % 10)`,
 ///   `h1 = pad8(id % 4)`, `h2 = pad8(id % 8)`; `h1`/`h2` are indexed.
 pub fn tiny_db() -> Database {
+    tiny_db_chips(1)
+}
+
+/// [`tiny_db`] on a token whose flash is sharded across `chips` identical
+/// chips on independent channels (same total capacity; per-op costs are
+/// chip-count-independent, so queries are bit-identical at any count).
+pub fn tiny_db_chips(chips: usize) -> Database {
     let schema = paper_synthetic_schema(2, 2);
     let [n0, n1, n2, n11, n12] = TINY_ROWS;
     let table = |name: &str, rows: u64, fks: Vec<(String, Vec<Id>)>| TableLoad {
@@ -79,7 +86,7 @@ pub fn tiny_db() -> Database {
     ];
     Database::assemble(
         schema,
-        &TokenConfig::paper_platform(16 * 1024 * 1024),
+        &TokenConfig::paper_platform_chips(16 * 1024 * 1024, chips),
         loads,
     )
     .expect("tiny db assembles")

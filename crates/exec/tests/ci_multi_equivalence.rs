@@ -216,7 +216,7 @@ proptest! {
 
 /// Decode every flash sublist to concrete ids (charged outside any tracked
 /// scope, after attribution has been snapshotted).
-fn decode(ctx: &mut ExecCtx<'_, '_>, groups: &[Vec<IdSource>]) -> Vec<Vec<Vec<Id>>> {
+fn decode(ctx: &mut ExecCtx<'_>, groups: &[Vec<IdSource>]) -> Vec<Vec<Vec<Id>>> {
     let ram = ctx.ram();
     let page_size = ctx.page_size();
     groups
@@ -239,7 +239,7 @@ fn decode(ctx: &mut ExecCtx<'_, '_>, groups: &[Vec<IdSource>]) -> Vec<Vec<Vec<Id
 /// Ci attribution and lane I/O of one ci_ops call on a fresh context.
 fn run_ci_op(
     db: &mut Database,
-    f: impl Fn(&mut ExecCtx<'_, '_>) -> Vec<Vec<IdSource>>,
+    f: impl Fn(&mut ExecCtx<'_>) -> Vec<Vec<IdSource>>,
 ) -> (Vec<Vec<Vec<Id>>>, u128, FlashStats, Vec<u128>) {
     let mut ctx = ExecCtx::new(db);
     let groups = f(&mut ctx);

@@ -1,0 +1,269 @@
+//! Multi-chip NAND array: independent chips behind per-chip locks.
+//!
+//! The paper's token (§2.2/§6.1) models a single flash module; modern
+//! NAND packages expose several chips on independent channels, each with
+//! its own data register, program/erase state machine and — in this
+//! simulator — its own FTL and GC state. `ChipArray` shards a flat
+//! logical address space across chips in contiguous per-chip ranges
+//! (`chip = lpn / chip_pages`) and serialises access **per chip**, not
+//! per device: two workers touching disjoint chips never contend, and a
+//! worker touching a busy chip blocks only for the duration of one page
+//! operation, not a whole operator scope.
+//!
+//! Every operation returns the exact [`FlashStats`] delta it charged,
+//! computed inside the chip lock, so callers can keep handle-local
+//! counters that stay exact under concurrency. All per-operation costs
+//! (Table 1) are placement-independent — a page read costs the same on
+//! any chip — which is what keeps multi-chip execution bit-identical to
+//! single-chip execution as long as GC (the one placement-dependent
+//! cost) stays out of the window; see `gc_headroom_of`.
+
+use crate::error::FlashError;
+use crate::ftl::Ftl;
+use crate::geometry::FlashGeometry;
+use crate::stats::{FlashStats, SimDuration};
+use crate::timing::FlashTiming;
+use crate::{Lpn, Result};
+use std::sync::Mutex;
+
+/// A bank of independent NAND chips sharing one flat logical address
+/// space. Chip `c` owns logical pages `[c·chip_pages, (c+1)·chip_pages)`.
+#[derive(Debug)]
+pub struct ChipArray {
+    chips: Vec<Mutex<Ftl>>,
+    /// Per-chip geometry (every chip is identical).
+    geometry: FlashGeometry,
+    timing: FlashTiming,
+    chip_pages: u64,
+}
+
+impl ChipArray {
+    /// `chips` identical chips, each with `geometry` and its own FTL.
+    pub fn new(geometry: FlashGeometry, timing: FlashTiming, chips: usize) -> Self {
+        assert!(chips >= 1, "need at least one chip");
+        ChipArray {
+            chips: (0..chips).map(|_| Mutex::new(Ftl::new(geometry))).collect(),
+            geometry,
+            timing,
+            chip_pages: geometry.logical_pages(),
+        }
+    }
+
+    /// Number of chips (= independent channels).
+    pub fn chip_count(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Per-chip geometry.
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geometry
+    }
+
+    /// Timing model in force (shared by every channel).
+    pub fn timing(&self) -> &FlashTiming {
+        &self.timing
+    }
+
+    /// Logical pages owned by each chip.
+    pub fn chip_pages(&self) -> u64 {
+        self.chip_pages
+    }
+
+    /// Logical pages of the whole array.
+    pub fn logical_pages(&self) -> u64 {
+        self.chip_pages * self.chips.len() as u64
+    }
+
+    /// Physical pages of the whole array (all chips, spares included).
+    pub fn physical_pages(&self) -> u64 {
+        self.geometry.physical_pages() * self.chips.len() as u64
+    }
+
+    /// Chip that owns a logical page.
+    pub fn chip_of(&self, lpn: Lpn) -> usize {
+        (lpn / self.chip_pages) as usize
+    }
+
+    /// Split a global logical page into (chip, chip-local page).
+    fn route(&self, lpn: Lpn) -> Result<(usize, Lpn)> {
+        if lpn >= self.logical_pages() {
+            return Err(FlashError::BadAddress(lpn));
+        }
+        Ok(((lpn / self.chip_pages) as usize, lpn % self.chip_pages))
+    }
+
+    /// Read within one logical page; returns the counters this op charged.
+    pub fn read(&self, lpn: Lpn, offset: usize, buf: &mut [u8]) -> Result<FlashStats> {
+        let (chip, local) = self.route(lpn)?;
+        let mut ftl = self.chips[chip].lock().unwrap();
+        let before = *ftl.stats();
+        ftl.read(local, offset, buf)?;
+        Ok(*ftl.stats() - before)
+    }
+
+    /// Program a full logical page; returns the counters this op charged.
+    pub fn write(&self, lpn: Lpn, image: &[u8]) -> Result<FlashStats> {
+        let (chip, local) = self.route(lpn)?;
+        let mut ftl = self.chips[chip].lock().unwrap();
+        let before = *ftl.stats();
+        ftl.write(local, image)?;
+        Ok(*ftl.stats() - before)
+    }
+
+    /// Read-modify-write within one logical page; returns the delta.
+    pub fn write_at(&self, lpn: Lpn, offset: usize, data: &[u8]) -> Result<FlashStats> {
+        let (chip, local) = self.route(lpn)?;
+        let mut ftl = self.chips[chip].lock().unwrap();
+        let before = *ftl.stats();
+        ftl.write_at(local, offset, data)?;
+        Ok(*ftl.stats() - before)
+    }
+
+    /// Release a logical page (metadata only, zero cost).
+    pub fn trim(&self, lpn: Lpn) -> Result<FlashStats> {
+        let (chip, local) = self.route(lpn)?;
+        let mut ftl = self.chips[chip].lock().unwrap();
+        let before = *ftl.stats();
+        ftl.trim(local)?;
+        Ok(*ftl.stats() - before)
+    }
+
+    /// Cumulative counters of one chip.
+    pub fn chip_stats(&self, chip: usize) -> FlashStats {
+        *self.chips[chip].lock().unwrap().stats()
+    }
+
+    /// Cumulative counters of the whole array (sum over chips).
+    pub fn stats(&self) -> FlashStats {
+        (0..self.chips.len())
+            .map(|c| self.chip_stats(c))
+            .fold(FlashStats::default(), |a, b| a + b)
+    }
+
+    /// Simulated busy time of one chip's channel.
+    pub fn chip_elapsed(&self, chip: usize) -> SimDuration {
+        self.chip_stats(chip)
+            .elapsed(&self.timing, self.geometry.page_size)
+    }
+
+    /// Simulated completion time with all channels streaming concurrently:
+    /// the busiest chip's elapsed time. Against [`ChipArray::stats`]'s
+    /// single-channel sum, the ratio is the device-level parallel speedup.
+    pub fn channel_makespan(&self) -> SimDuration {
+        (0..self.chips.len())
+            .map(|c| self.chip_elapsed(c))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// GC headroom of one chip (see [`Ftl::gc_headroom_pages`]).
+    pub fn gc_headroom_of(&self, chip: usize) -> u64 {
+        self.chips[chip].lock().unwrap().gc_headroom_pages()
+    }
+
+    /// Worst-case GC headroom across chips: a write burst of at most this
+    /// many fresh pages never triggers GC wherever it lands.
+    pub fn gc_headroom_pages(&self) -> u64 {
+        (0..self.chips.len())
+            .map(|c| self.gc_headroom_of(c))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Largest per-chip wear spread (diagnostics).
+    pub fn wear_spread(&self) -> u64 {
+        (0..self.chips.len())
+            .map(|c| self.chips[c].lock().unwrap().nand().wear_spread())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_array(chips: usize) -> ChipArray {
+        ChipArray::new(
+            FlashGeometry {
+                page_size: 128,
+                pages_per_block: 4,
+                block_count: 6,
+                spare_blocks: 2,
+            },
+            FlashTiming::default(),
+            chips,
+        )
+    }
+
+    #[test]
+    fn routes_to_contiguous_chip_ranges() {
+        let arr = tiny_array(4);
+        assert_eq!(arr.chip_pages(), 16);
+        assert_eq!(arr.logical_pages(), 64);
+        assert_eq!(arr.chip_of(0), 0);
+        assert_eq!(arr.chip_of(15), 0);
+        assert_eq!(arr.chip_of(16), 1);
+        assert_eq!(arr.chip_of(63), 3);
+    }
+
+    #[test]
+    fn per_chip_stats_sum_to_array_stats() {
+        let arr = tiny_array(2);
+        arr.write(0, b"chip0").unwrap();
+        arr.write(arr.chip_pages(), b"chip1").unwrap();
+        arr.write(arr.chip_pages() + 1, b"chip1 again").unwrap();
+        assert_eq!(arr.chip_stats(0).pages_written, 1);
+        assert_eq!(arr.chip_stats(1).pages_written, 2);
+        assert_eq!(arr.stats().pages_written, 3);
+    }
+
+    #[test]
+    fn op_deltas_are_exact_and_placement_independent() {
+        let arr = tiny_array(2);
+        let d0 = arr.write(3, &[7u8; 64]).unwrap();
+        let d1 = arr.write(arr.chip_pages() + 3, &[7u8; 64]).unwrap();
+        assert_eq!(d0, d1, "same op costs the same on any chip");
+        let mut buf = [0u8; 16];
+        let r = arr.read(3, 0, &mut buf).unwrap();
+        assert_eq!(r.pages_read, 1);
+        assert_eq!(r.bytes_to_ram, 16);
+        assert_eq!(r.pages_written, 0);
+    }
+
+    #[test]
+    fn makespan_is_busiest_channel_not_the_sum() {
+        let arr = tiny_array(4);
+        for chip in 0..4u64 {
+            for i in 0..4u64 {
+                arr.write(chip * arr.chip_pages() + i, &[1; 32]).unwrap();
+            }
+        }
+        let serial = arr.stats().elapsed(arr.timing(), 128);
+        let makespan = arr.channel_makespan();
+        assert_eq!(serial.as_ns(), 4 * makespan.as_ns());
+    }
+
+    #[test]
+    fn out_of_range_addresses_are_rejected_globally() {
+        let arr = tiny_array(2);
+        let out = arr.logical_pages();
+        assert!(matches!(
+            arr.write(out, &[0]),
+            Err(FlashError::BadAddress(lpn)) if lpn == out
+        ));
+    }
+
+    #[test]
+    fn headroom_is_the_weakest_chip() {
+        let arr = tiny_array(2);
+        let fresh = arr.gc_headroom_pages();
+        // Burn chip 1's headroom with fresh programs; chip 0 untouched.
+        for i in 0..arr.chip_pages() {
+            arr.write(arr.chip_pages() + i, &[2; 8]).unwrap();
+        }
+        assert_eq!(arr.gc_headroom_of(0), fresh);
+        assert!(arr.gc_headroom_of(1) < fresh);
+        assert_eq!(arr.gc_headroom_pages(), arr.gc_headroom_of(1));
+    }
+}

@@ -1,25 +1,53 @@
-//! The logical flash device used by the storage engine: FTL + cost model.
+//! The logical flash device used by the storage engine: a forkable handle
+//! over a shared [`ChipArray`], with exact handle-local I/O accounting.
+//!
+//! `FlashDevice` is no longer the array itself but a *handle*: the chips
+//! live in an `Arc<ChipArray>` and every handle keeps its own local
+//! [`FlashStats`] mirror, fed the exact per-operation delta computed
+//! inside the chip lock. [`FlashDevice::fork`] hands a worker lane its
+//! own handle onto the same chips: lanes on disjoint chips proceed
+//! without contention, lanes sharing a chip serialise per page operation
+//! (not per operator scope), and each lane's `snapshot`/`stats_since`
+//! attribution stays exact because it diffs the lane's own counter, never
+//! a device-wide one another lane is concurrently bumping.
+//!
+//! Device-wide ground truth ([`FlashDevice::stats`], `elapsed`) sums over
+//! chips and is what GC-taint detection reads; the handle-local view
+//! ([`FlashDevice::snapshot`], `stats_since`, `elapsed_since`) is what
+//! per-operator cost attribution reads. With a single handle on a single
+//! chip the two views coincide, which is exactly the pre-multi-chip
+//! behaviour.
 
-use crate::ftl::Ftl;
+use crate::chip::ChipArray;
 use crate::geometry::FlashGeometry;
 use crate::stats::{FlashSnapshot, FlashStats, SimDuration};
 use crate::timing::FlashTiming;
 use crate::{Lpn, Result};
+use std::sync::Arc;
 
-/// A simulated flash device: logical page reads/writes with exact I/O
-/// accounting and a simulated clock derived from the Table 1 cost model.
+/// A handle on a simulated flash device: logical page reads/writes with
+/// exact I/O accounting and a simulated clock derived from the Table 1
+/// cost model.
 #[derive(Debug)]
 pub struct FlashDevice {
-    ftl: Ftl,
-    timing: FlashTiming,
+    array: Arc<ChipArray>,
+    /// Counters charged through *this handle* (exact: accumulated from
+    /// per-op deltas computed inside the chip lock).
+    local: FlashStats,
 }
 
 impl FlashDevice {
-    /// New device over an erased module.
+    /// New single-chip device over an erased module.
     pub fn new(geometry: FlashGeometry, timing: FlashTiming) -> Self {
+        FlashDevice::with_chips(geometry, timing, 1)
+    }
+
+    /// New device with `chips` identical chips, each over `geometry` and
+    /// owning a contiguous slice of the logical address space.
+    pub fn with_chips(geometry: FlashGeometry, timing: FlashTiming, chips: usize) -> Self {
         FlashDevice {
-            ftl: Ftl::new(geometry),
-            timing,
+            array: Arc::new(ChipArray::new(geometry, timing, chips)),
+            local: FlashStats::default(),
         }
     }
 
@@ -28,9 +56,19 @@ impl FlashDevice {
         FlashDevice::new(FlashGeometry::default(), FlashTiming::default())
     }
 
-    /// Geometry of the module.
+    /// A new handle onto the same chips with a zeroed local counter: what
+    /// a worker lane gets. The fork sees (and contends on) the same
+    /// array, but its `snapshot`/`stats_since` attribution is private.
+    pub fn fork(&self) -> FlashDevice {
+        FlashDevice {
+            array: Arc::clone(&self.array),
+            local: FlashStats::default(),
+        }
+    }
+
+    /// Per-chip geometry of the module (all chips are identical).
     pub fn geometry(&self) -> &FlashGeometry {
-        self.ftl.geometry()
+        self.array.geometry()
     }
 
     /// Page size in bytes (the I/O unit).
@@ -38,71 +76,124 @@ impl FlashDevice {
         self.geometry().page_size
     }
 
-    /// Number of logical pages addressable by the storage engine.
+    /// Number of logical pages addressable by the storage engine (all
+    /// chips together).
     pub fn logical_pages(&self) -> u64 {
-        self.geometry().logical_pages()
+        self.array.logical_pages()
+    }
+
+    /// Number of physical pages across all chips, spares included.
+    pub fn physical_pages(&self) -> u64 {
+        self.array.physical_pages()
+    }
+
+    /// Number of chips (= independent channels).
+    pub fn chip_count(&self) -> usize {
+        self.array.chip_count()
+    }
+
+    /// Logical pages owned by each chip.
+    pub fn chip_pages(&self) -> u64 {
+        self.array.chip_pages()
+    }
+
+    /// Chip that owns a logical page.
+    pub fn chip_of(&self, lpn: Lpn) -> usize {
+        self.array.chip_of(lpn)
     }
 
     /// Timing model in force.
     pub fn timing(&self) -> &FlashTiming {
-        &self.timing
+        self.array.timing()
     }
 
     /// Read bytes from within one logical page.
     pub fn read(&mut self, lpn: Lpn, offset: usize, buf: &mut [u8]) -> Result<()> {
-        self.ftl.read(lpn, offset, buf)
+        self.local += self.array.read(lpn, offset, buf)?;
+        Ok(())
     }
 
     /// Write a full logical page (short images are zero-padded).
     pub fn write(&mut self, lpn: Lpn, image: &[u8]) -> Result<()> {
-        self.ftl.write(lpn, image)
+        self.local += self.array.write(lpn, image)?;
+        Ok(())
     }
 
     /// Read-modify-write of a byte range within one logical page.
     pub fn write_at(&mut self, lpn: Lpn, offset: usize, data: &[u8]) -> Result<()> {
-        self.ftl.write_at(lpn, offset, data)
+        self.local += self.array.write_at(lpn, offset, data)?;
+        Ok(())
     }
 
     /// Release a logical page (metadata only).
     pub fn trim(&mut self, lpn: Lpn) -> Result<()> {
-        self.ftl.trim(lpn)
+        self.local += self.array.trim(lpn)?;
+        Ok(())
     }
 
-    /// Cumulative I/O counters since construction.
+    /// Cumulative I/O counters of the whole device since construction —
+    /// every handle, every chip. This is the ground truth GC-taint
+    /// detection reads.
     pub fn stats(&self) -> FlashStats {
-        *self.ftl.stats()
+        self.array.stats()
     }
 
-    /// Snapshot for per-operator attribution.
+    /// Cumulative counters of one chip (all handles).
+    pub fn chip_stats(&self, chip: usize) -> FlashStats {
+        self.array.chip_stats(chip)
+    }
+
+    /// Snapshot of *this handle's* counters, for per-operator attribution.
+    /// Diffing with [`FlashDevice::stats_since`] is exact even while other
+    /// handles drive the same chips.
     pub fn snapshot(&self) -> FlashSnapshot {
-        *self.ftl.stats()
+        self.local
     }
 
-    /// Counters accumulated since `snap`.
+    /// Counters this handle accumulated since `snap`.
     pub fn stats_since(&self, snap: &FlashSnapshot) -> FlashStats {
-        self.stats() - *snap
+        self.local - *snap
     }
 
-    /// Simulated time implied by all I/O so far.
+    /// Simulated time implied by all I/O so far (single-channel sum over
+    /// every chip: the serial-issue clock).
     pub fn elapsed(&self) -> SimDuration {
-        self.stats().elapsed(&self.timing, self.page_size())
+        self.stats().elapsed(self.timing(), self.page_size())
     }
 
-    /// Simulated time implied by the I/O performed since `snap`.
+    /// Simulated busy time of one chip's channel.
+    pub fn chip_elapsed(&self, chip: usize) -> SimDuration {
+        self.array.chip_elapsed(chip)
+    }
+
+    /// Simulated completion time with all channels streaming concurrently
+    /// (the busiest chip). `elapsed() / channel_makespan()` is the
+    /// device-level parallel speedup.
+    pub fn channel_makespan(&self) -> SimDuration {
+        self.array.channel_makespan()
+    }
+
+    /// Simulated time implied by the I/O this handle performed since
+    /// `snap`.
     pub fn elapsed_since(&self, snap: &FlashSnapshot) -> SimDuration {
         self.stats_since(snap)
-            .elapsed(&self.timing, self.page_size())
+            .elapsed(self.timing(), self.page_size())
     }
 
-    /// Wear spread of the underlying array (diagnostics).
+    /// Largest per-chip wear spread (diagnostics).
     pub fn wear_spread(&self) -> u64 {
-        self.ftl.nand().wear_spread()
+        self.array.wear_spread()
     }
 
-    /// Physical page programs the device can absorb before garbage
+    /// Physical page programs the weakest chip can absorb before garbage
     /// collection could first run (see [`crate::ftl::Ftl::gc_headroom_pages`]).
     pub fn gc_headroom_pages(&self) -> u64 {
-        self.ftl.gc_headroom_pages()
+        self.array.gc_headroom_pages()
+    }
+
+    /// GC headroom of one chip.
+    pub fn gc_headroom_of(&self, chip: usize) -> u64 {
+        self.array.gc_headroom_of(chip)
     }
 }
 
@@ -151,5 +242,59 @@ mod tests {
             dev.elapsed_since(&snap).as_ns(),
             dev.timing().read_cost_ns(16)
         );
+    }
+
+    fn multichip(chips: usize) -> FlashDevice {
+        FlashDevice::with_chips(
+            FlashGeometry {
+                page_size: 256,
+                pages_per_block: 4,
+                block_count: 8,
+                spare_blocks: 2,
+            },
+            FlashTiming::default(),
+            chips,
+        )
+    }
+
+    #[test]
+    fn multichip_roundtrip_spans_chip_boundaries() {
+        let mut dev = multichip(4);
+        assert_eq!(dev.chip_count(), 4);
+        assert_eq!(dev.logical_pages(), 4 * dev.chip_pages());
+        for lpn in 0..dev.logical_pages() {
+            dev.write(lpn, &(lpn as u32).to_le_bytes()).unwrap();
+        }
+        for lpn in 0..dev.logical_pages() {
+            let mut buf = [0u8; 4];
+            dev.read(lpn, 0, &mut buf).unwrap();
+            assert_eq!(u32::from_le_bytes(buf), lpn as u32, "lpn {lpn}");
+        }
+    }
+
+    #[test]
+    fn fork_attribution_is_handle_local_and_sums_device_wide() {
+        let mut dev = multichip(2);
+        let mut lane = dev.fork();
+        dev.write(0, &[1; 64]).unwrap();
+        let lane_snap = lane.snapshot();
+        lane.write(dev.chip_pages(), &[2; 64]).unwrap();
+        lane.write(dev.chip_pages() + 1, &[2; 64]).unwrap();
+        // Each handle only sees its own traffic...
+        assert_eq!(dev.snapshot().pages_written, 1);
+        assert_eq!(lane.stats_since(&lane_snap).pages_written, 2);
+        // ...while the device-wide view sees everything from any handle.
+        assert_eq!(dev.stats().pages_written, 3);
+        assert_eq!(lane.stats(), dev.stats());
+    }
+
+    #[test]
+    fn makespan_reflects_channel_concurrency() {
+        let mut dev = multichip(2);
+        // Balanced load: both chips equally busy.
+        dev.write(0, &[1; 256]).unwrap();
+        dev.write(dev.chip_pages(), &[1; 256]).unwrap();
+        assert_eq!(dev.elapsed().as_ns(), 2 * dev.channel_makespan().as_ns());
+        assert_eq!(dev.chip_elapsed(0), dev.chip_elapsed(1));
     }
 }

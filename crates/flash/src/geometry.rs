@@ -23,7 +23,10 @@ pub struct FlashGeometry {
 
 impl FlashGeometry {
     /// Geometry sized to hold `logical_bytes` of user data with default page
-    /// and block parameters plus ~8% over-provisioning (at least 4 blocks).
+    /// and block parameters, over-provisioned with one spare block per 12
+    /// logical blocks (~8.3%), floored at 4 spare blocks so tiny modules —
+    /// including the per-chip slices of a small multi-chip split — still
+    /// give GC room to breathe.
     pub fn for_capacity(logical_bytes: u64) -> Self {
         let page_size = 2048usize;
         let pages_per_block = 64u64;
@@ -105,6 +108,25 @@ mod tests {
         g.validate();
         assert!(g.logical_pages() >= 1);
         assert!(g.block_count > g.spare_blocks);
+    }
+
+    #[test]
+    fn for_capacity_overprovisions_one_spare_per_twelve_floored_at_four() {
+        // Tiny capacities (1 logical block here) floor at 4 spare blocks.
+        let tiny = FlashGeometry::for_capacity(1);
+        assert_eq!(tiny.block_count - tiny.spare_blocks, 1);
+        assert_eq!(tiny.spare_blocks, 4);
+        // 256 MB at 128 KB blocks = 2048 logical blocks → exactly
+        // 2048 / 12 = 170 spares, ~8.3% over-provisioning.
+        let g = FlashGeometry::for_capacity(256 * 1024 * 1024);
+        let logical_blocks = g.block_count - g.spare_blocks;
+        assert_eq!(logical_blocks, 2048);
+        assert_eq!(g.spare_blocks, logical_blocks / 12);
+        assert_eq!(g.spare_blocks, 170);
+        // The floor only binds below 48 logical blocks (48 / 12 = 4).
+        let edge = FlashGeometry::for_capacity(48 * 64 * 2048);
+        assert_eq!(edge.block_count - edge.spare_blocks, 48);
+        assert_eq!(edge.spare_blocks, 4);
     }
 
     #[test]

@@ -45,20 +45,53 @@ impl Segment {
 /// First-fit allocator over the logical address space with free-run
 /// coalescing. Freeing a segment trims its pages so the FTL can reclaim
 /// the physical space.
+///
+/// When built over a multi-chip device ([`SegmentAllocator::with_chips`])
+/// allocations stripe across chips: a rotating cursor picks the next chip
+/// and the run is placed first-fit *within* that chip's contiguous range,
+/// so consecutively built structures (sublists, index runs, per-lane
+/// temporaries) land on distinct chips and independent scans hit
+/// independent channels. Placement is a pure function of the alloc/free
+/// call sequence — it never depends on data values or on scheduling — so
+/// striping opens no new leakage channel (see `SECURITY.md`).
 #[derive(Debug)]
 pub struct SegmentAllocator {
     /// Sorted, disjoint, coalesced free runs (start, len).
     free: Vec<(Lpn, u64)>,
     total_pages: u64,
+    /// Pages per chip; 0 = flat space, no striping (single chip / carved
+    /// sub-range slices).
+    chip_pages: u64,
+    chips: usize,
+    /// Rotating cursor: the chip the next striped allocation tries first.
+    next_chip: usize,
 }
 
 impl SegmentAllocator {
-    /// Allocator over the whole logical space of a device.
+    /// Allocator over the whole logical space of a single-chip device.
     pub fn new(total_pages: u64) -> Self {
         SegmentAllocator {
             free: vec![(0, total_pages)],
             total_pages,
+            chip_pages: 0,
+            chips: 1,
+            next_chip: 0,
         }
+    }
+
+    /// Allocator over the logical space of a `chips`-chip device, striping
+    /// allocations across the per-chip ranges. `total_pages` must split
+    /// evenly (it does by construction: the device's logical space is
+    /// `chips` identical slices).
+    pub fn with_chips(total_pages: u64, chips: usize) -> Self {
+        assert!(chips >= 1, "need at least one chip");
+        assert_eq!(total_pages % chips as u64, 0, "uneven chip split");
+        let mut a = SegmentAllocator::new(total_pages);
+        if chips > 1 {
+            a.chip_pages = total_pages / chips as u64;
+            a.chips = chips;
+        }
+        a
     }
 
     /// Allocator over a carved sub-range of the logical space (a per-worker
@@ -68,7 +101,20 @@ impl SegmentAllocator {
         SegmentAllocator {
             free: vec![(start, pages)],
             total_pages: pages,
+            chip_pages: 0,
+            chips: 1,
+            next_chip: 0,
         }
+    }
+
+    /// Number of chips allocations stripe across (1 = flat space).
+    pub fn chips(&self) -> usize {
+        self.chips
+    }
+
+    /// Chip that owns a logical page (0 when not striped).
+    pub fn chip_of(&self, lpn: Lpn) -> usize {
+        lpn.checked_div(self.chip_pages).unwrap_or(0) as usize
     }
 
     /// Pages not currently allocated.
@@ -81,23 +127,112 @@ impl SegmentAllocator {
         self.total_pages
     }
 
-    /// Allocate a contiguous run of `pages` logical pages (first fit).
+    /// Allocate a contiguous run of `pages` logical pages. On a flat
+    /// space: first fit. On a striped space: rotate the chip cursor, place
+    /// first-fit within the first chip (in rotation order) that can hold
+    /// the whole run, and fall back to a global chip-spanning first fit
+    /// only when no single chip can.
     pub fn alloc(&mut self, pages: u64) -> Result<Segment> {
         if pages == 0 {
             return Ok(Segment { start: 0, pages: 0 });
+        }
+        if self.chips > 1 {
+            for i in 0..self.chips {
+                let chip = (self.next_chip + i) % self.chips;
+                let (lo, hi) = self.chip_range(chip);
+                if let Some((slot, start)) = self.find_in_range(pages, lo, hi) {
+                    self.carve(slot, start, pages);
+                    self.next_chip = (chip + 1) % self.chips;
+                    return Ok(Segment { start, pages });
+                }
+            }
         }
         let slot = self
             .free
             .iter()
             .position(|(_, len)| *len >= pages)
             .ok_or(FlashError::OutOfLogicalSpace { requested: pages })?;
-        let (start, len) = self.free[slot];
-        if len == pages {
-            self.free.remove(slot);
-        } else {
-            self.free[slot] = (start + pages, len - pages);
-        }
+        let start = self.free[slot].0;
+        self.carve(slot, start, pages);
         Ok(Segment { start, pages })
+    }
+
+    /// Allocate a run constrained to one chip's range (used by `run_lanes`
+    /// to carve per-lane slices on specific, unpressured chips).
+    pub fn alloc_on_chip(&mut self, pages: u64, chip: usize) -> Result<Segment> {
+        let (lo, hi) = self.chip_range(chip);
+        self.alloc_in_range(pages, lo, hi)
+    }
+
+    /// Allocate a run placed entirely inside `[lo, hi)`, first fit.
+    pub fn alloc_in_range(&mut self, pages: u64, lo: Lpn, hi: Lpn) -> Result<Segment> {
+        if pages == 0 {
+            return Ok(Segment { start: 0, pages: 0 });
+        }
+        let (slot, start) = self
+            .find_in_range(pages, lo, hi)
+            .ok_or(FlashError::OutOfLogicalSpace { requested: pages })?;
+        self.carve(slot, start, pages);
+        Ok(Segment { start, pages })
+    }
+
+    /// Free pages inside one chip's range (the whole space when flat).
+    pub fn free_in_chip(&self, chip: usize) -> u64 {
+        let (lo, hi) = self.chip_range(chip);
+        self.free_in_range(lo, hi)
+    }
+
+    /// Free pages inside `[lo, hi)`.
+    pub fn free_in_range(&self, lo: Lpn, hi: Lpn) -> u64 {
+        self.free
+            .iter()
+            .map(|(s, l)| {
+                let a = (*s).max(lo);
+                let b = (s + l).min(hi);
+                b.saturating_sub(a)
+            })
+            .sum()
+    }
+
+    /// The logical range owned by `chip` (the whole space when flat).
+    fn chip_range(&self, chip: usize) -> (Lpn, Lpn) {
+        if self.chip_pages == 0 {
+            (0, self.total_pages)
+        } else {
+            let lo = chip as u64 * self.chip_pages;
+            (lo, lo + self.chip_pages)
+        }
+    }
+
+    /// First free slot able to hold `pages` entirely inside `[lo, hi)`;
+    /// returns (slot index, placement start).
+    fn find_in_range(&self, pages: u64, lo: Lpn, hi: Lpn) -> Option<(usize, Lpn)> {
+        for (slot, (s, l)) in self.free.iter().enumerate() {
+            let a = (*s).max(lo);
+            let b = (s + l).min(hi);
+            if b.saturating_sub(a) >= pages {
+                return Some((slot, a));
+            }
+            if *s >= hi {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Remove `[start, start + pages)` from the free run at `slot`,
+    /// re-inserting the (possibly empty) remainders in sorted order.
+    fn carve(&mut self, slot: usize, start: Lpn, pages: u64) {
+        let (s, l) = self.free[slot];
+        debug_assert!(start >= s && start + pages <= s + l);
+        self.free.remove(slot);
+        let post = (s + l) - (start + pages);
+        if post > 0 {
+            self.free.insert(slot, (start + pages, post));
+        }
+        if start > s {
+            self.free.insert(slot, (s, start - s));
+        }
     }
 
     /// Allocate enough pages to hold `bytes` with the given page size.
@@ -204,6 +339,60 @@ mod tests {
         let s = alloc.alloc_bytes(257, dev.page_size()).unwrap();
         assert_eq!(s.pages(), 2);
         assert_eq!(s.byte_capacity(dev.page_size()), 512);
+    }
+
+    #[test]
+    fn striped_allocs_rotate_across_chips() {
+        let mut alloc = SegmentAllocator::with_chips(64, 4);
+        let a = alloc.alloc(4).unwrap();
+        let b = alloc.alloc(4).unwrap();
+        let c = alloc.alloc(4).unwrap();
+        let d = alloc.alloc(4).unwrap();
+        let e = alloc.alloc(4).unwrap();
+        assert_eq!(
+            [a, b, c, d, e].map(|s| alloc.chip_of(s.start())),
+            [0, 1, 2, 3, 0],
+            "rotating cursor lands consecutive allocs on distinct chips"
+        );
+        assert_eq!(e.start(), 4, "second round continues within chip 0");
+    }
+
+    #[test]
+    fn striped_alloc_falls_back_to_spanning_runs() {
+        let mut alloc = SegmentAllocator::with_chips(64, 4);
+        // No single 16-page chip can hold 20 pages; the global first fit
+        // must span chips rather than fail.
+        let big = alloc.alloc(20).unwrap();
+        assert_eq!(big.start(), 0);
+        assert_eq!(alloc.free_pages(), 44);
+    }
+
+    #[test]
+    fn alloc_on_chip_respects_ranges_and_accounts_free_space() {
+        let mut dev = device();
+        let mut alloc = SegmentAllocator::with_chips(64, 4);
+        let s = alloc.alloc_on_chip(6, 2).unwrap();
+        assert_eq!(alloc.chip_of(s.start()), 2);
+        assert_eq!(alloc.free_in_chip(2), 10);
+        assert_eq!(alloc.free_in_chip(0), 16);
+        assert!(matches!(
+            alloc.alloc_on_chip(11, 2),
+            Err(FlashError::OutOfLogicalSpace { .. })
+        ));
+        alloc.free(s, &mut dev).unwrap();
+        assert_eq!(alloc.free_in_chip(2), 16);
+        // A coalesced free space admits a full-size spanning alloc again.
+        let all = alloc.alloc(64).unwrap();
+        assert_eq!(all.pages(), 64);
+    }
+
+    #[test]
+    fn single_chip_striping_is_plain_first_fit() {
+        let mut flat = SegmentAllocator::new(64);
+        let mut one = SegmentAllocator::with_chips(64, 1);
+        for pages in [3u64, 7, 1, 12] {
+            assert_eq!(one.alloc(pages).unwrap(), flat.alloc(pages).unwrap());
+        }
     }
 
     #[test]

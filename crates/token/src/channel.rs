@@ -72,6 +72,21 @@ impl Channel {
         self.capture_payloads = capture;
     }
 
+    /// Whether payload capture is enabled.
+    pub fn capture(&self) -> bool {
+        self.capture_payloads
+    }
+
+    /// A fresh channel with this channel's configuration (throughput and
+    /// capture mode) and no recorded traffic — equivalent to a `reset()`
+    /// copy. Worker-isolated executions record onto one of these so their
+    /// transcripts match what a solo run would have recorded after reset.
+    pub fn fresh_like(&self) -> Channel {
+        let mut ch = Channel::new(self.throughput_bytes_per_sec);
+        ch.set_capture(self.capture_payloads);
+        ch
+    }
+
     /// Configured throughput (bytes/second).
     pub fn throughput(&self) -> u64 {
         self.throughput_bytes_per_sec

@@ -95,6 +95,14 @@ impl RamArena {
         self.state.buf_size * self.state.capacity
     }
 
+    /// Raise the high-water mark to at least `n` buffers without holding
+    /// any. Used when work ran on a scratch arena (`fresh_like`) on behalf
+    /// of this one: merging the scratch peak back keeps the monotone
+    /// high-water semantics identical to having run here directly.
+    pub fn raise_peak(&self, n: usize) {
+        self.state.peak.fetch_max(n, Ordering::Relaxed);
+    }
+
     fn reserve(&self, n: usize) -> Result<()> {
         let mut in_use = self.state.in_use.load(Ordering::Relaxed);
         loop {

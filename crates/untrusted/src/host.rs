@@ -11,7 +11,7 @@ use crate::store::VisibleStore;
 use crate::trace::{HostOp, HostTrace, HostTraceEvent, PadMode};
 use ghostdb_storage::{CmpOp, Id, Predicate, Result, TableId, Value, ID_BYTES};
 use ghostdb_token::Channel;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// What a `Vis(Q, T, π)` call delivered into the token.
 ///
@@ -70,7 +70,9 @@ fn fmt_preds(preds: &[Predicate]) -> String {
 /// host-observable request trace.
 #[derive(Debug)]
 pub struct UntrustedHost {
-    store: VisibleStore,
+    /// Shared read-only after load: forks (worker-isolated executions)
+    /// see the same store without copying it.
+    store: Arc<VisibleStore>,
     /// Interior mutability: the catalog lane hands out `&UntrustedHost`
     /// shared across worker lanes, yet every host contact happens on the
     /// root lane (workers get no channel), so the lock is uncontended and
@@ -82,7 +84,17 @@ impl UntrustedHost {
     /// Host over a loaded visible store.
     pub fn new(store: VisibleStore) -> Self {
         UntrustedHost {
-            store,
+            store: Arc::new(store),
+            trace: Mutex::new(HostTrace::new()),
+        }
+    }
+
+    /// A host over the same store with an empty trace — what one
+    /// worker-isolated query execution records onto. Equivalent to this
+    /// host after `reset_trace()`: the store is shared, the trace fresh.
+    pub fn fork(&self) -> UntrustedHost {
+        UntrustedHost {
+            store: Arc::clone(&self.store),
             trace: Mutex::new(HostTrace::new()),
         }
     }

@@ -1,0 +1,250 @@
+//! Multi-chip differential suite: sharding the token's flash across
+//! 2 or 4 chips (and fanning queries out over 2 or 4 worker lanes) is a
+//! pure wall-clock/makespan optimization. Every per-operation flash cost
+//! in the simulator is charged per page or per byte — never per physical
+//! placement — so a query over a chip-striped database must produce the
+//! same rows, the same `ExecReport` in every field, the same host trace
+//! and the same wire transcript as the single-chip serial executor, bit
+//! for bit. This file is the lock on that claim: 7 strategies × lanes
+//! {1,2,4} × chips {1,2,4}, all compared against the chips=1/lanes=1
+//! baseline; plus a property test that per-operation ("chunked") flash
+//! delta accounting on forked handles sums to exactly the whole-scope
+//! device-wide delta.
+
+use ghostdb_datagen::{SyntheticDataset, SyntheticSpec};
+use ghostdb_exec::strategy::VisStrategy;
+use ghostdb_exec::{Database, ExecOptions, ExecReport, Executor, HostTrace, OpKind, SpjQuery};
+use ghostdb_flash::{FlashDevice, FlashGeometry, FlashStats, FlashTiming};
+use ghostdb_token::TranscriptEntry;
+use proptest::prelude::*;
+
+const STRATEGIES: [VisStrategy; 7] = [
+    VisStrategy::Pre,
+    VisStrategy::CrossPre,
+    VisStrategy::Post,
+    VisStrategy::CrossPost,
+    VisStrategy::PostSelect,
+    VisStrategy::CrossPostSelect,
+    VisStrategy::NoFilter,
+];
+const LANES: [usize; 3] = [1, 2, 4];
+const CHIPS: [usize; 3] = [1, 2, 4];
+
+/// CI's `lanes-smoke` legs restrict the matrix to one cell via
+/// `MULTICHIP_CHIPS` / `MULTICHIP_LANES`; unset (the local default) runs
+/// the full cross product.
+fn axis(env: &str, all: &[usize]) -> Vec<usize> {
+    match std::env::var(env) {
+        Ok(v) => {
+            let n: usize = v
+                .parse()
+                .unwrap_or_else(|_| panic!("{env} must be a number, got {v:?}"));
+            assert!(all.contains(&n), "{env}={n} is not one of {all:?}");
+            vec![n]
+        }
+        Err(_) => all.to_vec(),
+    }
+}
+
+fn dataset() -> SyntheticDataset {
+    let mut spec = SyntheticSpec::paper(0.0005); // T0 = 5 000
+    spec.seed = 47;
+    SyntheticDataset::generate(spec)
+}
+
+fn capture_db(ds: &SyntheticDataset, chips: usize) -> Database {
+    let mut db = ds.build_chips(chips).expect("build");
+    db.token.channel.set_capture(true);
+    db
+}
+
+fn query(ds: &SyntheticDataset) -> SpjQuery {
+    let t0 = ds.schema.root();
+    let t1 = ds.schema.table_id("T1").expect("T1");
+    let t12 = ds.schema.table_id("T12").expect("T12");
+    let mut q = SpjQuery::new()
+        .pred(t1, ds.selectivity_pred("T1", "v1", 0.05))
+        .pred(t12, ds.selectivity_pred("T12", "h2", 0.1))
+        .project(t0, "id")
+        .project(t1, "v1")
+        .project(t12, "h1");
+    q.text = "multichip-eq-Q".into();
+    q
+}
+
+/// Every observable field of two reports, with per-bucket messages.
+fn assert_report_identical(label: &str, want: &ExecReport, got: &ExecReport) {
+    for op in OpKind::ALL {
+        assert_eq!(
+            want.op(op),
+            got.op(op),
+            "{label}: {} bucket diverges",
+            op.name()
+        );
+    }
+    assert_eq!(want, got, "{label}: ExecReport diverges");
+}
+
+/// One observed execution: result, report, host trace, wire transcript.
+struct Observed {
+    result: ghostdb_exec::ResultSet,
+    report: ExecReport,
+    trace: HostTrace,
+    transcript: Vec<TranscriptEntry>,
+}
+
+fn observe(db: &mut Database, q: &SpjQuery, opts: &ExecOptions) -> Observed {
+    let (result, report) = Executor::run(db, q, opts).expect("run");
+    Observed {
+        result,
+        report,
+        trace: db.untrusted.trace(),
+        transcript: db.token.channel.transcript().to_vec(),
+    }
+}
+
+/// The full matrix. Baseline: chips=1, lanes=1 (the paper's device, the
+/// serial executor). Every other (chips, lanes) cell re-runs the whole
+/// strategy sweep on a freshly built chip-striped database and must match
+/// the baseline observation for its strategy in every observable.
+#[test]
+fn sharded_multichip_equals_single_chip_serial_bit_for_bit() {
+    let ds = dataset();
+    let q = query(&ds);
+    let mut base_db = capture_db(&ds, 1);
+    let baseline: Vec<Observed> = STRATEGIES
+        .iter()
+        .map(|s| {
+            let opts = ExecOptions::new().strategy(*s).intra_threads(1);
+            observe(&mut base_db, &q, &opts)
+        })
+        .collect();
+    for &chips in &axis("MULTICHIP_CHIPS", &CHIPS) {
+        for &lanes in &axis("MULTICHIP_LANES", &LANES) {
+            if chips == 1 && lanes == 1 {
+                continue;
+            }
+            let mut db = capture_db(&ds, chips);
+            assert_eq!(db.token.flash.chip_count(), chips);
+            for (s, want) in STRATEGIES.iter().zip(&baseline) {
+                let opts = ExecOptions::new().strategy(*s).intra_threads(lanes);
+                let got = observe(&mut db, &q, &opts);
+                let label = format!("{}/chips={chips}/lanes={lanes}", s.name());
+                assert_eq!(got.result, want.result, "{label}: results diverge");
+                assert_report_identical(&label, &want.report, &got.report);
+                assert_eq!(got.trace, want.trace, "{label}: host trace diverges");
+                assert_eq!(
+                    got.transcript, want.transcript,
+                    "{label}: wire transcript diverges"
+                );
+            }
+        }
+    }
+}
+
+/// Sharding must not change the device's logical capacity: the same total
+/// flash bytes, split across 4 chips, hold the same database.
+#[test]
+fn sharded_build_preserves_total_capacity() {
+    let ds = dataset();
+    let one = ds.build_chips(1).expect("build 1");
+    let four = ds.build_chips(4).expect("build 4");
+    // Per-chip capacity is total/chips rounded up to whole blocks, so the
+    // sharded device never shrinks below the single-chip capacity.
+    assert!(
+        four.token.flash.logical_pages() >= one.token.flash.logical_pages(),
+        "sharding lost capacity: {} < {}",
+        four.token.flash.logical_pages(),
+        one.token.flash.logical_pages()
+    );
+    assert_eq!(four.token.flash.chip_count(), 4);
+    assert_eq!(
+        four.token.flash.logical_pages(),
+        four.token.flash.chip_pages() * 4,
+        "logical space is whole chips"
+    );
+    // Striped base placement: table/index segments land on more than one
+    // chip (otherwise the scaling story is vacuous).
+    let pages = four.token.flash.chip_pages();
+    let chips_used: std::collections::HashSet<usize> = (0..four.token.flash.logical_pages())
+        .step_by(pages as usize)
+        .map(|lpn| four.token.flash.chip_of(lpn))
+        .collect();
+    assert_eq!(chips_used.len(), 4, "every chip hosts a slice of the space");
+}
+
+/// One random op (relative page, payload byte, op kind) on a device.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Write(u64, u8),
+    Read(u64),
+    Trim(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u64..512, any::<u8>(), 0u8..3).prop_map(|(p, b, k)| match k {
+        0 => Op::Write(p, b),
+        1 => Op::Read(p),
+        _ => Op::Trim(p),
+    })
+}
+
+fn tiny_device(chips: usize) -> FlashDevice {
+    // 512 logical pages per chip keeps every op in range on any handle.
+    let geometry = FlashGeometry {
+        page_size: 512,
+        pages_per_block: 16,
+        block_count: 40,
+        spare_blocks: 8,
+    };
+    FlashDevice::with_chips(geometry, FlashTiming::default(), chips)
+}
+
+fn apply(dev: &mut FlashDevice, op: Op, span: u64) {
+    let page = |p: u64| p % span;
+    match op {
+        Op::Write(p, b) => {
+            let image = vec![b; dev.page_size()];
+            dev.write(page(p), &image).expect("write");
+        }
+        Op::Read(p) => {
+            let mut buf = vec![0u8; 64];
+            dev.read(page(p), 0, &mut buf).expect("read");
+        }
+        Op::Trim(p) => dev.trim(page(p)).expect("trim"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Chunked vs whole-scope delta accounting: accumulate each op's
+    /// `stats_since(snapshot)` delta on two forked handles (ops split
+    /// between them), and the sum of all chunked deltas must equal the
+    /// whole-scope device-wide stats difference exactly — no op double
+    /// counted, none lost, regardless of chip count or which handle
+    /// issued it.
+    #[test]
+    fn chunked_deltas_sum_to_whole_scope_delta(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        chips in 1usize..=4,
+    ) {
+        let mut root = tiny_device(chips);
+        let span = root.logical_pages();
+        let before = root.stats();
+        let mut fork = root.fork();
+        let mut chunked = FlashStats::default();
+        for (i, op) in ops.iter().enumerate() {
+            // Alternate handles: deltas stay exact per handle because the
+            // local mirror only moves for this handle's own ops.
+            let dev = if i % 2 == 0 { &mut root } else { &mut fork };
+            let snap = dev.snapshot();
+            apply(dev, *op, span);
+            chunked += dev.stats_since(&snap);
+        }
+        let whole = root.stats() - before;
+        prop_assert_eq!(chunked, whole, "chunked deltas drifted from the device-wide scope");
+        // And the handle-local mirrors partition the same total.
+        prop_assert_eq!(root.snapshot() + fork.snapshot(), whole);
+    }
+}

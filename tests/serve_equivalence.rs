@@ -184,6 +184,58 @@ fn serve_batched_equals_solo_across_matrix() {
     }
 }
 
+/// `ServeConfig::workers` governs execution, not just analysis: a drain
+/// on a multi-worker server runs the batch on the worker pool (per-query
+/// isolated resources) and still delivers outcomes bit-identical to a
+/// single-worker server's serial loop and to the solo `Executor::run`
+/// loop — results, every `ExecReport` field, host trace and wire
+/// transcript. The `parallel_drains` counter proves the pool actually
+/// engaged, so the equivalence is not vacuous.
+#[test]
+fn worker_pool_drain_matches_single_worker_and_solo() {
+    let ds = dataset();
+    let mut solo_db = capture_db(&ds);
+    for strategy in [
+        VisStrategy::Pre,
+        VisStrategy::CrossPost,
+        VisStrategy::NoFilter,
+    ] {
+        let opts = ExecOptions::new().strategy(strategy);
+        let queries = workload(&ds, 8, &format!("workers {}", strategy.name()));
+        let solo: Vec<SoloRef> = queries
+            .iter()
+            .map(|q| run_solo(&mut solo_db, q, &opts))
+            .collect();
+        let w1 = GhostDbServer::new(
+            capture_db(&ds),
+            ServeConfig::new().queue_depth(8).workers(1),
+        )
+        .expect("1-worker server");
+        let w4 = GhostDbServer::new(
+            capture_db(&ds),
+            ServeConfig::new().queue_depth(8).workers(4),
+        )
+        .expect("4-worker server");
+        let outs_1 = serve_round(&w1, &queries, &opts, 2);
+        let outs_4 = serve_round(&w4, &queries, &opts, 2);
+        assert_eq!(
+            w1.batch_stats().parallel_drains,
+            0,
+            "a 1-worker server must run the serial loop"
+        );
+        assert_eq!(
+            w4.batch_stats().parallel_drains,
+            1,
+            "the 4-worker server must actually use the pool"
+        );
+        for (i, solo_ref) in solo.iter().enumerate() {
+            let label = strategy.name();
+            assert_outcome_matches(&outs_1[i], solo_ref, &format!("{label} w1 #{i}"));
+            assert_outcome_matches(&outs_4[i], solo_ref, &format!("{label} w4 #{i}"));
+        }
+    }
+}
+
 /// Run-to-run determinism: the same arrival sequence on fresh servers
 /// produces bit-identical outcome vectors, run after run.
 #[test]
