@@ -7,7 +7,8 @@
 //! ```text
 //! perfbench [--smoke] [--out BENCH.json] [--scale F] [--scale2 F]
 //!           [--medical-scale F] [--iters N] [--threads N]
-//!           [--intra-threads N] [--spill-policy P] [--padded] [--serve]
+//!           [--intra-threads N] [--spill-policy P] [--padded]
+//!           [--read-ahead N] [--serve]
 //! perfbench --check BENCH.json
 //! perfbench --compare A.json B.json [--tolerance PCT] [--exact]
 //! ```
@@ -64,7 +65,8 @@ perfbench — wall-clock performance baseline emitting BENCH.json
 USAGE:
     perfbench [--smoke] [--out PATH] [--scale F] [--scale2 F]
               [--medical-scale F] [--iters N] [--threads N]
-              [--intra-threads N] [--spill-policy P] [--padded] [--serve]
+              [--intra-threads N] [--spill-policy P] [--padded]
+              [--read-ahead N] [--serve]
     perfbench --check PATH
     perfbench --compare PATH PATH [--tolerance PCT] [--exact]
 
@@ -96,12 +98,22 @@ OPTIONS:
                        countermeasure); recorded in the document. The
                        dedicated synthetic-padded/ exact-vs-pow2 pairs run
                        in every document regardless of this flag
+    --read-ahead N     run the query sweeps with an N-page vectored
+                       read-ahead window on B+-tree leaf scans and probe
+                       runs (0 = serial issue, the default).
+                       simulated_s/ops/bytes_io are bit-identical at any
+                       window — batching moves only the channel clock;
+                       recorded in the document. The dedicated
+                       micro/io/scan-vectored pair measures the win in
+                       every document regardless of this flag
     --serve            add the serve-mode family: a closed-loop load
                        generator driving a `GhostDbServer` (sessions ×
                        batching on/off, deterministic arrival order) whose
                        `serve/…` entries carry per-query p50/p95/p99
-                       submit→outcome latencies, plus the
-                       micro/serve/batch-vs-solo isolation pair. Always
+                       submit→outcome latencies, an open-loop (timed
+                       arrival schedule) pair whose percentiles are
+                       arrival→outcome — coordinated-omission-free — plus
+                       the micro/serve/batch-vs-solo isolation pair. Always
                        serial (the server is the concurrency)
     --check PATH       validate an existing BENCH.json and exit
     --compare A B      validate two BENCH.json files and fail if their
@@ -132,6 +144,7 @@ struct Opts {
     intra_threads: usize,
     spill: SpillPolicy,
     padded: bool,
+    read_ahead: usize,
     serve: bool,
     check: Option<String>,
     compare: Option<(String, String)>,
@@ -167,6 +180,7 @@ fn parse_args() -> Opts {
         intra_threads: 1,
         spill: SpillPolicy::WidestSmallest,
         padded: false,
+        read_ahead: 0,
         serve: false,
         check: None,
         compare: None,
@@ -239,6 +253,13 @@ fn parse_args() -> Opts {
             "--padded" => {
                 opts.padded = true;
                 i += 1;
+            }
+            "--read-ahead" => {
+                let raw = value_of(&args, i);
+                opts.read_ahead = raw.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("bad --read-ahead {raw} (expected an integer ≥ 0)"))
+                });
+                i += 2;
             }
             "--serve" => {
                 opts.serve = true;
@@ -358,6 +379,7 @@ fn report_stats(report: &ExecReport) -> RunStats {
         simulated_s: report.total().as_secs(),
         ops: report.result_rows,
         bytes_io: report.io.bytes_to_ram + report.io.bytes_from_ram,
+        channel: None,
     }
 }
 
@@ -439,6 +461,7 @@ fn synthetic_scenarios(
                     tune.intra,
                     tune.spill,
                     tune.padded,
+                    tune.read_ahead,
                 ))
             })
         },
@@ -474,6 +497,7 @@ fn zipf_scenarios(
                     tune.intra,
                     tune.spill,
                     tune.padded,
+                    tune.read_ahead,
                 ))
             })
         },
@@ -512,6 +536,7 @@ fn hicard_scenarios(
                     tune.intra,
                     tune.spill,
                     tune.padded,
+                    tune.read_ahead,
                 ))
             })
         },
@@ -559,6 +584,7 @@ fn padded_scenarios(
                     tune.intra,
                     tune.spill,
                     padded,
+                    tune.read_ahead,
                 ))
             })
         },
@@ -592,6 +618,7 @@ fn medical_scenarios(
                     tune.intra,
                     tune.spill,
                     tune.padded,
+                    tune.read_ahead,
                 ))
             })
         },
@@ -690,6 +717,102 @@ fn serve_scenarios(scale: f64, warmup: usize, iters: usize, out: &mut Vec<BenchE
             }
             eprintln!("perfbench: {name}: {saved} traversals saved");
         }
+    }
+}
+
+/// The open-loop (timed-arrival) serve family. The closed-loop generator
+/// above waits for each wave to drain before submitting the next, so
+/// queueing delay hides behind client coordination (coordinated omission);
+/// here queries arrive on a fixed schedule regardless of server progress,
+/// and each latency sample runs from the query's *scheduled arrival* — not
+/// the instant it was actually submitted — to the drain that completed it.
+/// The inter-arrival gap is calibrated once per point from an untimed
+/// closed-loop wave (per-query service time at full depth), so offered
+/// load sits at ≈ capacity and queue build-up is visible in the tail.
+/// Entries are `serve/x{scale}/open/{batch,nobatch}`; their percentiles
+/// are arrival→outcome. Simulated observations stay deterministic and
+/// schedule-independent (the as-if-solo billing contract), so these
+/// entries sit under `--compare --exact` like every other scenario.
+fn serve_open_scenarios(scale: f64, warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
+    const DEPTH: usize = 8;
+    const WAVES: usize = 3;
+    for batching in [true, false] {
+        let (ds, db) = build_synthetic(scale);
+        let queries: Vec<_> = (0..DEPTH * WAVES)
+            .map(|i| query_q(&ds, &db, [0.001, 0.01, 0.1][i % 3], false))
+            .collect();
+        let opts = ExecOptions::new().strategy(VisStrategy::CrossPost);
+        let server =
+            GhostDbServer::new(db, ServeConfig::new().queue_depth(DEPTH).batching(batching))
+                .unwrap_or_else(|e| {
+                    eprintln!("perfbench: serve-open server build failed: {e}");
+                    std::process::exit(1);
+                });
+        let session = server.session();
+        let name = format!(
+            "serve/x{scale}/open/{}",
+            if batching { "batch" } else { "nobatch" }
+        );
+        eprintln!("perfbench: {name}");
+        let fail = |what: &str, e: String| -> ! {
+            eprintln!("perfbench: {name}: {what}: {e}");
+            std::process::exit(1);
+        };
+        // Calibrate the arrival schedule: one untimed closed-loop wave
+        // gives the per-query service time at full depth.
+        let cal = Instant::now();
+        for q in &queries[..DEPTH] {
+            session
+                .submit(q, &opts)
+                .unwrap_or_else(|e| fail("calibration admission failed", e.to_string()));
+        }
+        server
+            .drain()
+            .unwrap_or_else(|e| fail("calibration drain failed", e.to_string()));
+        let gap = cal.elapsed() / DEPTH as u32;
+        while let Some(o) = session.take() {
+            o.unwrap_or_else(|e| fail("calibration query failed", e.to_string()));
+        }
+        let mut lat: Vec<u128> = Vec::new();
+        let mut entry = measure(name.as_str(), warmup, iters, || {
+            let mut stats = RunStats::default();
+            let t0 = Instant::now();
+            for (w, wave) in queries.chunks(DEPTH).enumerate() {
+                for (i, q) in wave.iter().enumerate() {
+                    // Hold the submission to its scheduled arrival.
+                    let due = t0 + gap * (w * DEPTH + i) as u32;
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    session
+                        .submit(q, &opts)
+                        .unwrap_or_else(|e| fail("admission failed", e.to_string()));
+                }
+                server
+                    .drain()
+                    .unwrap_or_else(|e| fail("drain failed", e.to_string()));
+                let done = t0.elapsed().as_nanos();
+                for i in 0..wave.len() {
+                    let arrival = (gap * (w * DEPTH + i) as u32).as_nanos();
+                    lat.push(done.saturating_sub(arrival));
+                }
+                while let Some(o) = session.take() {
+                    let o = o.unwrap_or_else(|e| fail("served query failed", e.to_string()));
+                    stats.simulated_s += o.report.total().as_secs();
+                    stats.ops += o.report.result_rows;
+                    stats.bytes_io += o.report.io.bytes_to_ram + o.report.io.bytes_from_ram;
+                }
+            }
+            stats
+        });
+        let timed = &lat[warmup * queries.len()..];
+        entry.percentiles = Some((
+            percentile(timed, 0.5),
+            percentile(timed, 0.95),
+            percentile(timed, 0.99),
+        ));
+        out.push(entry);
     }
 }
 
@@ -1140,6 +1263,7 @@ fn micro_lanes(warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
                 simulated_s: sim_ns as f64 / 1e9,
                 ops,
                 bytes_io: io.bytes_to_ram + io.bytes_from_ram,
+                channel: Some((sum as f64 / 1e9, makespan as f64 / 1e9)),
             }
         }));
     }
@@ -1156,6 +1280,114 @@ fn micro_lanes(warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
             );
             std::process::exit(1);
         }
+    }
+}
+
+/// The vectored-I/O pair: a climbing-index range scan over a B+-tree whose
+/// leaves stripe a 4-chip device (`alloc_striped` rotation), run with
+/// serial leaf issue vs an 8-page read-ahead window
+/// (`CiProbe::set_read_ahead` → `BTreeCursor` scan-chain prefetch).
+/// Counters are batch-invariant by construction — `bytes_io` equality is
+/// asserted right here — so `simulated_s` carries the issue sum for both
+/// entries while the `issue_s`/`makespan_s` pair records where they
+/// differ: the read-ahead run's batches stream up to 4 channels
+/// concurrently, and the ≥1.5x channel-time floor is asserted in-binary,
+/// so every perfbench run doubles as the vectored-I/O smoke gate.
+fn micro_io(warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
+    const CHIPS: usize = 4;
+    const WINDOW: usize = 8;
+    let schema = paper_synthetic_schema(1, 1);
+    let mut dev = FlashDevice::with_chips(
+        FlashGeometry::for_capacity(64 * 1024 * 1024),
+        FlashTiming::default(),
+        CHIPS,
+    );
+    let mut alloc = SegmentAllocator::with_chips(dev.logical_pages(), CHIPS);
+    let ram = RamArena::paper_default();
+    let t0 = schema.table_id("T0").unwrap();
+    let t1 = schema.table_id("T1").unwrap();
+    let t2 = schema.table_id("T2").unwrap();
+    let t11 = schema.table_id("T11").unwrap();
+    let t12 = schema.table_id("T12").unwrap();
+    let (n0, n1) = (40_000u64, 20_000u64);
+    let mut rows = vec![0u64; schema.len()];
+    rows[t0] = n0;
+    rows[t1] = n1;
+    rows[t2] = 10;
+    rows[t11] = 5;
+    rows[t12] = 4;
+    let mut fks = FkData::default();
+    fks.insert(t0, t1, (0..n0).map(|i| (i / 2) as Id).collect());
+    fks.insert(t0, t2, (0..n0).map(|i| (i % 10) as Id).collect());
+    fks.insert(t1, t11, (0..n1).map(|i| (i % 5) as Id).collect());
+    fks.insert(t1, t12, (0..n1).map(|i| (i % 4) as Id).collect());
+    let keys: Vec<u64> = (0..n1).map(|r| r % 5000).collect();
+    let ci = IndexBuilder::new(schema, rows, fks)
+        .build_climbing(
+            &mut dev,
+            &mut alloc,
+            ClimbingSpec {
+                table: t1,
+                column: "h1",
+                keys: &keys,
+                levels: LevelSpec::FullClimb,
+                exact: true,
+            },
+        )
+        .unwrap();
+    let (lo, hi) = (0u64, 5000u64);
+    let mut chan = [(0.0f64, 0.0f64); 2];
+    let mut bytes = [0u64; 2];
+    for (slot, (window, name)) in [
+        (0usize, "micro/io/scan-vectored_serial"),
+        (WINDOW, "micro/io/scan-vectored_ra8"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let dev = &dev;
+        let slot_chan = &mut chan[slot];
+        let slot_bytes = &mut bytes[slot];
+        out.push(measure(name, warmup, iters, || {
+            // A fresh fork per run: zeroed local counters AND a zeroed
+            // overlap clock, so both clocks below are this run's alone.
+            let mut fork = dev.fork();
+            let snap = fork.snapshot();
+            let mut probe = ci.probe(&ram).unwrap();
+            probe.set_read_ahead(window);
+            let lists = probe.lookup_range(&mut fork, lo, hi, 0).unwrap();
+            let io = fork.stats_since(&snap);
+            let issue = fork.elapsed_since(&snap);
+            let makespan = fork.overlap_elapsed();
+            *slot_chan = (issue.as_secs(), makespan.as_secs());
+            *slot_bytes = io.bytes_to_ram + io.bytes_from_ram;
+            RunStats {
+                simulated_s: issue.as_secs(),
+                ops: lists.len() as u64,
+                bytes_io: *slot_bytes,
+                channel: Some(*slot_chan),
+            }
+        }));
+    }
+    if bytes[0] != bytes[1] {
+        eprintln!(
+            "perfbench: micro/io/scan-vectored: read-ahead moved {} flash bytes \
+             vs {} serial — batching must be counter-neutral",
+            bytes[1], bytes[0]
+        );
+        std::process::exit(1);
+    }
+    let speedup = chan[0].0 / chan[1].1.max(f64::MIN_POSITIVE);
+    eprintln!(
+        "perfbench: vectored scan channel speedup {speedup:.2}x \
+         (serial issue sum / read-ahead batch makespan, {CHIPS} chips)"
+    );
+    if speedup < 1.5 {
+        eprintln!(
+            "perfbench: micro/io/scan-vectored: channel speedup {speedup:.2}x is \
+             below the 1.5x floor — leaf read-ahead batches are not overlapping chips"
+        );
+        std::process::exit(1);
     }
 }
 
@@ -1232,7 +1464,8 @@ fn micro_serve(warmup: usize, iters: usize, out: &mut Vec<BenchEntry>) {
         || {
             let snap = dev.snapshot();
             let mut bank = CiPrefetch::new();
-            bank.insert_traversal(&mut dev, &ram, &ci, lo, hi).unwrap();
+            bank.insert_traversal(&mut dev, &ram, &ci, lo, hi, 0)
+                .unwrap();
             let mut lists = 0u64;
             for i in 0..QUEUED {
                 let hit = bank.get(&ci, lo, hi).unwrap();
@@ -1294,6 +1527,7 @@ struct Tuning {
     intra: usize,
     spill: SpillPolicy,
     padded: bool,
+    read_ahead: usize,
 }
 
 fn main() {
@@ -1313,6 +1547,7 @@ fn main() {
         intra: opts.intra_threads,
         spill: opts.spill,
         padded: opts.padded,
+        read_ahead: opts.read_ahead,
     };
     eprintln!(
         "perfbench: mode {mode}, {iters} timed iterations per scenario \
@@ -1333,6 +1568,7 @@ fn main() {
     medical_scenarios(opts.medical_scale, warmup, iters, tune, &mut entries);
     if opts.serve {
         serve_scenarios(opts.scale, warmup, iters, &mut entries);
+        serve_open_scenarios(opts.scale, warmup, iters, &mut entries);
     }
 
     eprintln!("perfbench: operator microbenches...");
@@ -1343,6 +1579,7 @@ fn main() {
     micro_ci_multi(warmup, iters, &mut entries);
     micro_sjoin(opts.scale, warmup, iters, &mut entries);
     micro_lanes(warmup, iters, &mut entries);
+    micro_io(warmup, iters, &mut entries);
     if opts.serve {
         micro_serve(warmup, iters, &mut entries);
     }
@@ -1353,6 +1590,7 @@ fn main() {
         tune.intra,
         tune.spill.name(),
         tune.padded,
+        tune.read_ahead,
         &entries,
     );
     let summary = check_bench(&doc).unwrap_or_else(|e| {

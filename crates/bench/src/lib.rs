@@ -104,14 +104,17 @@ pub fn run_with(
     strategy: VisStrategy,
     algo: ProjectAlgo,
 ) -> ExecReport {
-    run_with_tuned(db, q, strategy, algo, 1, SpillPolicy::default(), false)
+    run_with_tuned(db, q, strategy, algo, 1, SpillPolicy::default(), false, 0)
 }
 
-/// [`run_with`] with explicit intra-query worker budget, spill policy and
-/// volume-padding mode (the `perfbench --intra-threads` / `--spill-policy`
-/// / `--padded` path). Simulated numbers are bit-identical across `intra`
-/// values; `padded` inflates the channel cost (its overhead is exactly
-/// what the `*-padded/` scenarios quantify) without changing results.
+/// [`run_with`] with explicit intra-query worker budget, spill policy,
+/// volume-padding mode and vectored read-ahead window (the `perfbench
+/// --intra-threads` / `--spill-policy` / `--padded` / `--read-ahead`
+/// path). Simulated numbers are bit-identical across `intra` and
+/// `read_ahead` values; `padded` inflates the channel cost (its overhead
+/// is exactly what the `*-padded/` scenarios quantify) without changing
+/// results.
+#[allow(clippy::too_many_arguments)]
 pub fn run_with_tuned(
     db: &mut Database,
     q: &SpjQuery,
@@ -120,6 +123,7 @@ pub fn run_with_tuned(
     intra: usize,
     spill: SpillPolicy,
     padded: bool,
+    read_ahead: usize,
 ) -> ExecReport {
     let opts = ExecOptions {
         strategies: vec![],
@@ -128,6 +132,7 @@ pub fn run_with_tuned(
         intra_threads: intra,
         spill_policy: spill,
         padded,
+        read_ahead,
     };
     let (_, report) = Executor::run(db, q, &opts).expect("query runs");
     report

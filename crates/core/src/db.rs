@@ -97,6 +97,16 @@ impl QueryOptions {
         self
     }
 
+    /// Climbing-index read-ahead window in pages (`0` = serial). With
+    /// `W ≥ 2` index scans issue up to `W` leaf pages as one vectored flash
+    /// read; results, reports and the host-visible trace are bit-identical
+    /// at any value — only the channel-overlap clock improves on multi-chip
+    /// tokens.
+    pub fn read_ahead(mut self, window: usize) -> Self {
+        self.exec = self.exec.read_ahead(window);
+        self
+    }
+
     /// Reject invalid combinations (0 threads) without executing anything.
     pub fn validate(&self) -> Result<()> {
         Ok(self.exec.validate()?)
@@ -208,8 +218,8 @@ impl GhostDb {
     /// partition + indexes onto the token, hand the visible partition to
     /// the PC — and seal the instance, returning a read-only serving
     /// handle whose query methods take `&self` (see [`SealedGhostDb`]).
-    /// Idempotent; dropping the handle leaves the instance finalized, and
-    /// the deprecated `&mut self` query shims keep working against it.
+    /// Idempotent; dropping the handle leaves the instance finalized, so
+    /// `finalize()` can be called again for a fresh handle.
     pub fn finalize(&mut self) -> Result<SealedGhostDb<'_>> {
         self.finalize_inner()?;
         Ok(SealedGhostDb {
@@ -342,29 +352,6 @@ impl GhostDb {
         }
         exec.validate()?;
         Ok(exec)
-    }
-
-    /// Run a SELECT with default (automatic) options.
-    #[deprecated(note = "finalize() now returns a SealedGhostDb whose query() takes &self")]
-    pub fn query(&mut self, sql_text: &str) -> Result<ResultSet> {
-        Ok(self.query_with_inner(sql_text, &QueryOptions::default())?.0)
-    }
-
-    /// Run a SELECT with explicit options; returns the execution report
-    /// alongside the rows.
-    #[deprecated(note = "finalize() now returns a SealedGhostDb whose query_with() takes &self")]
-    pub fn query_with(
-        &mut self,
-        sql_text: &str,
-        opts: &QueryOptions,
-    ) -> Result<(ResultSet, ExecReport)> {
-        self.query_with_inner(sql_text, opts)
-    }
-
-    /// Describe the plan the optimizer would choose, without executing.
-    #[deprecated(note = "finalize() now returns a SealedGhostDb whose explain() takes &self")]
-    pub fn explain(&mut self, sql_text: &str) -> Result<String> {
-        self.explain_inner(sql_text)
     }
 
     fn query_with_inner(
@@ -701,18 +688,6 @@ mod tests {
         let pinned = QueryOptions::new().per_table("Doctors", VisStrategy::Post);
         let (rs, _) = sealed.query_with(sql, &pinned).unwrap();
         assert_eq!(rs, base);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_mutable_shims_still_work() {
-        let mut db = patients_db();
-        let rs = db
-            .query("SELECT Doctors.id FROM Doctors WHERE Doctors.specialty = 'Psychiatrist'")
-            .unwrap();
-        assert!(!rs.rows.is_empty());
-        let plan = db.explain("SELECT Patients.id FROM Patients").unwrap();
-        assert!(plan.contains("query:"));
     }
 
     #[test]

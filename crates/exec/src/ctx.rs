@@ -325,6 +325,10 @@ pub struct ExecCtx<'a> {
     /// Pad every `Vis` shipment to a power-of-two row bucket (the volume
     /// side-channel countermeasure; see `SECURITY.md`).
     pub padded: bool,
+    /// Climbing-index read-ahead window in pages (`0` = serial). Forwarded
+    /// to every `CiProbe` this context opens; counters and results are
+    /// bit-identical at any value.
+    pub read_ahead: usize,
     /// Cross-query climbing-index prefetch (the serve-mode batch
     /// scheduler's shared traversals). `None` on solo executions; hits are
     /// billed as-if-solo via [`DeviceLane::charge`], so the report is
@@ -353,6 +357,7 @@ impl<'a> ExecCtx<'a> {
             intra: 1,
             spill: SpillPolicy::default(),
             padded: false,
+            read_ahead: 0,
             prefetch: None,
             channel: Some(&mut token.channel),
             track_depth: 0,
@@ -376,6 +381,7 @@ impl<'a> ExecCtx<'a> {
             intra: 1,
             spill: SpillPolicy::default(),
             padded: false,
+            read_ahead: 0,
             prefetch: None,
             channel,
             track_depth: 0,
@@ -641,6 +647,7 @@ impl<'a> ExecCtx<'a> {
         let cat = self.cat;
         let spill = self.spill;
         let padded = self.padded;
+        let read_ahead = self.read_ahead;
         let prefetch = self.prefetch;
         let arena = self.lane.ram();
         let proto = self.lane.fork_device();
@@ -677,6 +684,7 @@ impl<'a> ExecCtx<'a> {
                         intra: 1,
                         spill,
                         padded,
+                        read_ahead,
                         prefetch,
                         channel: None,
                         track_depth: 0,

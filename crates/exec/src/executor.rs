@@ -33,6 +33,13 @@ pub struct ExecOptions {
     /// filler bytes are charged to the channel, so reports carry the
     /// padding overhead). See `SECURITY.md`.
     pub padded: bool,
+    /// Climbing-index read-ahead window (pages). `0` (the default) keeps
+    /// every traversal strictly serial; `W ≥ 2` lets range scans and
+    /// ascending probe runs issue up to `W` leaf pages as one vectored
+    /// flash read. Counters, results and the host trace are bit-identical
+    /// at any value — only the side-band channel clock
+    /// (`FlashDevice::overlap_elapsed`) improves on multi-chip devices.
+    pub read_ahead: usize,
 }
 
 impl Default for ExecOptions {
@@ -44,6 +51,7 @@ impl Default for ExecOptions {
             intra_threads: 1,
             spill_policy: SpillPolicy::default(),
             padded: false,
+            read_ahead: 0,
         }
     }
 }
@@ -98,6 +106,12 @@ impl ExecOptions {
         self
     }
 
+    /// Climbing-index read-ahead window in pages (`0` = serial).
+    pub fn read_ahead(mut self, window: usize) -> Self {
+        self.read_ahead = window;
+        self
+    }
+
     /// Reject invalid combinations before any execution state is touched.
     /// Called by the executor, the facade and the server alike, so a bad
     /// build fails identically everywhere.
@@ -145,6 +159,7 @@ impl Executor {
         ctx.intra = opts.intra_threads;
         ctx.spill = opts.spill_policy;
         ctx.padded = opts.padded;
+        ctx.read_ahead = opts.read_ahead;
         ctx.prefetch = prefetch;
         Self::run_body(&mut ctx, q, opts)
     }

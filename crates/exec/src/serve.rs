@@ -298,6 +298,11 @@ impl GhostDbServer {
                 *demand.entry(key.clone()).or_default() += 1;
             }
             let scratch = st.db.token.ram.fresh_like();
+            // Shared traversals ride the widest read-ahead window any query
+            // in the batch asked for: the banked counter delta (and so what
+            // every hit bills) is window-independent, only the shared
+            // traversal's channel clock improves.
+            let bank_window = batch.iter().map(|b| b.opts.read_ahead).max().unwrap_or(0);
             for (key, n) in demand {
                 if n < 2 {
                     continue;
@@ -307,7 +312,7 @@ impl GhostDbServer {
                     .get(&(table, column))
                     .expect("demanded keys come from the catalog");
                 prefetch
-                    .insert_traversal(&mut st.db.token.flash, &scratch, ci, lo, hi)
+                    .insert_traversal(&mut st.db.token.flash, &scratch, ci, lo, hi, bank_window)
                     .map_err(ServeError::Exec)?;
                 st.stats.shared_keys += 1;
                 st.stats.saved_traversals += n - 1;
@@ -509,6 +514,7 @@ fn run_batch_parallel(
                 ctx.intra = item.opts.intra_threads;
                 ctx.spill = item.opts.spill_policy;
                 ctx.padded = item.opts.padded;
+                ctx.read_ahead = item.opts.read_ahead;
                 ctx.prefetch = bank;
                 Executor::run_body(&mut ctx, &item.query, &item.opts)
             })();

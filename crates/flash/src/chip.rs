@@ -26,6 +26,30 @@ use crate::timing::FlashTiming;
 use crate::{Lpn, Result};
 use std::sync::Mutex;
 
+/// One page-read request of a vectored batch: read `len` bytes starting
+/// at `offset` within logical page `lpn` — exactly the contract of
+/// [`ChipArray::read`], just batched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageReq {
+    /// Logical page to read.
+    pub lpn: Lpn,
+    /// Byte offset within the page.
+    pub offset: usize,
+    /// Bytes to transfer into the destination buffer.
+    pub len: usize,
+}
+
+impl PageReq {
+    /// A whole-page read request (offset 0, `len` = the page size).
+    pub fn full_page(lpn: Lpn, page_size: usize) -> Self {
+        PageReq {
+            lpn,
+            offset: 0,
+            len: page_size,
+        }
+    }
+}
+
 /// A bank of independent NAND chips sharing one flat logical address
 /// space. Chip `c` owns logical pages `[c·chip_pages, (c+1)·chip_pages)`.
 #[derive(Debug)]
@@ -126,6 +150,72 @@ impl ChipArray {
         let before = *ftl.stats();
         ftl.trim(local)?;
         Ok(*ftl.stats() - before)
+    }
+
+    /// Vectored read: execute a batch of page reads, binning requests per
+    /// chip and locking each involved chip exactly once. Request `i`
+    /// fills `outs[i]` (which must be `reqs[i].len` bytes).
+    ///
+    /// Billing is the heart of the contract. The returned `FlashStats`
+    /// delta is the *sum* of every per-request delta — bit-identical to a
+    /// loop of [`ChipArray::read`] calls, so handle-local counter mirrors
+    /// stay exact. The returned `SimDuration` is the batch **makespan**:
+    /// the busiest chip's in-batch issue time with all channels streaming
+    /// concurrently. The makespan is side-band wall-model information only
+    /// — it never enters the counters.
+    ///
+    /// Every request is validated (address range, intra-page bounds,
+    /// destination length) before any I/O is issued, so a failed batch
+    /// charges nothing; per `Ftl::read`, a pre-validated read cannot fail.
+    pub fn read_batch(
+        &self,
+        reqs: &[PageReq],
+        outs: &mut [&mut [u8]],
+    ) -> Result<(FlashStats, SimDuration)> {
+        assert_eq!(reqs.len(), outs.len(), "one destination per request");
+        let page_size = self.geometry.page_size;
+        let mut routed = Vec::with_capacity(reqs.len());
+        for (req, out) in reqs.iter().zip(outs.iter()) {
+            let (chip, local) = self.route(req.lpn)?;
+            if req.offset + req.len > page_size {
+                return Err(FlashError::OutOfPage {
+                    offset: req.offset,
+                    len: req.len,
+                    page_size,
+                });
+            }
+            assert_eq!(
+                out.len(),
+                req.len,
+                "destination length must match the request"
+            );
+            routed.push((chip, local));
+        }
+        // Bin request indices per chip; within a chip, submission order is
+        // preserved (reads are side-effect-free on the FTL map, so order
+        // only matters for determinism of the counters, which are sums).
+        let mut bins: Vec<Vec<usize>> = vec![Vec::new(); self.chips.len()];
+        for (i, (chip, _)) in routed.iter().enumerate() {
+            bins[*chip].push(i);
+        }
+        let mut total = FlashStats::default();
+        let mut makespan = SimDuration::ZERO;
+        for (chip, bin) in bins.iter().enumerate() {
+            if bin.is_empty() {
+                continue;
+            }
+            let mut ftl = self.chips[chip].lock().unwrap();
+            let before = *ftl.stats();
+            for &i in bin {
+                let (_, local) = routed[i];
+                ftl.read(local, reqs[i].offset, outs[i])
+                    .expect("pre-validated batch read cannot fail");
+            }
+            let delta = *ftl.stats() - before;
+            makespan = makespan.max(delta.elapsed(&self.timing, page_size));
+            total += delta;
+        }
+        Ok((total, makespan))
     }
 
     /// Cumulative counters of one chip.

@@ -42,6 +42,66 @@ impl Segment {
     }
 }
 
+/// A logical-page run striped across chips: `k` per-chip contiguous parts
+/// with page `i` living on part `i % k` (round-robin). Consecutive pages
+/// of the run land on distinct channels, so a vectored read of a window
+/// of neighbouring pages ([`FlashDevice::read_batch`]) overlaps across
+/// `min(window, k)` chips — this is the placement that makes the B+-tree
+/// leaf chain channel-parallel for a *single* scan. With `k = 1` the run
+/// is exactly a contiguous [`Segment`], bit-identical to the flat layout.
+///
+/// Placement stays a pure function of the alloc/free call sequence, and
+/// every per-page cost is placement-independent, so striping changes no
+/// counter, report, trace or transcript (see `SECURITY.md` claim 11).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripedSegment {
+    /// Per-chip contiguous parts, in stripe order. Never empty.
+    parts: Vec<Segment>,
+    /// Total pages across parts.
+    pages: u64,
+}
+
+impl StripedSegment {
+    /// Wrap a contiguous run as a 1-way stripe (the degenerate layout).
+    pub fn contiguous(seg: Segment) -> Self {
+        let pages = seg.pages();
+        StripedSegment {
+            parts: vec![seg],
+            pages,
+        }
+    }
+
+    /// Number of pages.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Stripe width (1 = contiguous).
+    pub fn stripe_width(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The per-chip contiguous parts, in stripe order.
+    pub fn parts(&self) -> &[Segment] {
+        &self.parts
+    }
+
+    /// Logical page number of the `i`-th page of the run: part `i % k`,
+    /// page `i / k` within it.
+    pub fn lpn(&self, i: u64) -> Result<Lpn> {
+        if i >= self.pages {
+            return Err(FlashError::SegmentOverflow);
+        }
+        let k = self.parts.len() as u64;
+        self.parts[(i % k) as usize].lpn(i / k)
+    }
+
+    /// Capacity in bytes for a device with the given page size.
+    pub fn byte_capacity(&self, page_size: usize) -> u64 {
+        self.pages * page_size as u64
+    }
+}
+
 /// First-fit allocator over the logical address space with free-run
 /// coalescing. Freeing a segment trims its pages so the FTL can reclaim
 /// the physical space.
@@ -240,6 +300,50 @@ impl SegmentAllocator {
         self.alloc(bytes.div_ceil(page_size as u64).max(1))
     }
 
+    /// Allocate a `pages`-page run striped round-robin across the chips:
+    /// one contiguous part per chip (in rotation order), so consecutive
+    /// run pages land on distinct channels. On a flat space — or when any
+    /// chip cannot host its part — the allocation falls back to a single
+    /// contiguous run, so the call always succeeds whenever [`Self::alloc`]
+    /// would. A failed striped attempt is rolled back without trims
+    /// (nothing was written yet).
+    pub fn alloc_striped(&mut self, pages: u64) -> Result<StripedSegment> {
+        let k = (self.chips as u64).min(pages);
+        if k <= 1 {
+            return Ok(StripedSegment::contiguous(self.alloc(pages)?));
+        }
+        let base = self.next_chip;
+        let mut parts = Vec::with_capacity(k as usize);
+        for j in 0..k {
+            // Part j owns run pages {j, j+k, j+2k, …}: ⌈(pages - j) / k⌉.
+            let part_pages = (pages - j).div_ceil(k);
+            let chip = (base + j as usize) % self.chips;
+            match self.alloc_on_chip(part_pages, chip) {
+                Ok(seg) => parts.push(seg),
+                Err(_) => {
+                    for seg in parts {
+                        self.insert_free_run(seg.start(), seg.pages());
+                    }
+                    return Ok(StripedSegment::contiguous(self.alloc(pages)?));
+                }
+            }
+        }
+        self.next_chip = (base + 1) % self.chips;
+        Ok(StripedSegment { parts, pages })
+    }
+
+    /// Return a striped run to the free pool, trimming every page.
+    pub fn free_striped(
+        &mut self,
+        segment: &StripedSegment,
+        device: &mut FlashDevice,
+    ) -> Result<()> {
+        for part in &segment.parts {
+            self.free(*part, device)?;
+        }
+        Ok(())
+    }
+
     /// Return a segment to the free pool, trimming its pages on `device`.
     pub fn free(&mut self, segment: Segment, device: &mut FlashDevice) -> Result<()> {
         if segment.pages == 0 {
@@ -392,6 +496,56 @@ mod tests {
         let mut one = SegmentAllocator::with_chips(64, 1);
         for pages in [3u64, 7, 1, 12] {
             assert_eq!(one.alloc(pages).unwrap(), flat.alloc(pages).unwrap());
+        }
+    }
+
+    #[test]
+    fn striped_segment_rotates_pages_across_chips() {
+        let mut alloc = SegmentAllocator::with_chips(64, 4);
+        let s = alloc.alloc_striped(10).unwrap();
+        assert_eq!(s.pages(), 10);
+        assert_eq!(s.stripe_width(), 4);
+        // Parts split ⌈10/4⌉-wise: 3, 3, 2, 2 pages.
+        assert_eq!(
+            s.parts().iter().map(|p| p.pages()).collect::<Vec<_>>(),
+            [3, 3, 2, 2]
+        );
+        // Consecutive run pages land on consecutive chips.
+        for i in 0..10u64 {
+            assert_eq!(
+                alloc.chip_of(s.lpn(i).unwrap()),
+                (i % 4) as usize,
+                "page {i}"
+            );
+        }
+        // Within one chip the part is contiguous and ascending.
+        assert_eq!(s.lpn(4).unwrap(), s.lpn(0).unwrap() + 1);
+        assert!(matches!(s.lpn(10), Err(FlashError::SegmentOverflow)));
+    }
+
+    #[test]
+    fn striped_alloc_falls_back_to_contiguous_when_a_chip_is_full() {
+        let mut dev = device();
+        let mut alloc = SegmentAllocator::with_chips(64, 4);
+        // Exhaust chip 1 so the striped attempt cannot place a part there.
+        let hog = alloc.alloc_on_chip(16, 1).unwrap();
+        let s = alloc.alloc_striped(12).unwrap();
+        assert_eq!(s.stripe_width(), 1, "fallback is a single contiguous part");
+        assert_eq!(s.pages(), 12);
+        // The rolled-back parts returned to the pool: freeing everything
+        // restores the full space.
+        alloc.free_striped(&s, &mut dev).unwrap();
+        alloc.free(hog, &mut dev).unwrap();
+        assert_eq!(alloc.free_pages(), 64);
+    }
+
+    #[test]
+    fn flat_striped_alloc_is_contiguous() {
+        let mut flat = SegmentAllocator::new(64);
+        let s = flat.alloc_striped(8).unwrap();
+        assert_eq!(s.stripe_width(), 1);
+        for i in 0..8u64 {
+            assert_eq!(s.lpn(i).unwrap(), s.lpn(0).unwrap() + i);
         }
     }
 

@@ -1,0 +1,168 @@
+//! Vectored-I/O differential suite: the batched read path (union priming
+//! via `prime_readers`, B+-tree scan/probe read-ahead, the serve bank's
+//! widened traversals) is a pure channel-clock optimization. Batching
+//! changes WHEN pages are issued, never WHICH pages, at what cost, or what
+//! the host observes: a query run with read-ahead on must produce the same
+//! rows, the same `ExecReport` in every field, the same host trace and the
+//! same wire transcript as the serial executor, bit for bit — across all
+//! 7 visible-filtering strategies and chip counts {1, 2, 4}. This is the
+//! lock on SECURITY.md's claim that vectored batching is on-token and
+//! host-invisible.
+//!
+//! CI's `io-smoke` legs restrict the matrix to one cell via
+//! `MULTICHIP_CHIPS` / `IO_READ_AHEAD`; unset (the local default) runs the
+//! full cross product.
+
+use ghostdb_datagen::{SyntheticDataset, SyntheticSpec};
+use ghostdb_exec::strategy::VisStrategy;
+use ghostdb_exec::{Database, ExecOptions, ExecReport, Executor, OpKind, SpjQuery};
+use ghostdb_token::TranscriptEntry;
+
+const STRATEGIES: [VisStrategy; 7] = [
+    VisStrategy::Pre,
+    VisStrategy::CrossPre,
+    VisStrategy::Post,
+    VisStrategy::CrossPost,
+    VisStrategy::PostSelect,
+    VisStrategy::CrossPostSelect,
+    VisStrategy::NoFilter,
+];
+const CHIPS: [usize; 3] = [1, 2, 4];
+const WINDOWS: [usize; 2] = [0, 8];
+
+fn axis(env: &str, all: &[usize]) -> Vec<usize> {
+    match std::env::var(env) {
+        Ok(v) => {
+            let n: usize = v
+                .parse()
+                .unwrap_or_else(|_| panic!("{env} must be a number, got {v:?}"));
+            assert!(all.contains(&n), "{env}={n} is not one of {all:?}");
+            vec![n]
+        }
+        Err(_) => all.to_vec(),
+    }
+}
+
+fn dataset() -> SyntheticDataset {
+    let mut spec = SyntheticSpec::paper(0.0005); // T0 = 5 000
+    spec.seed = 61;
+    SyntheticDataset::generate(spec)
+}
+
+fn capture_db(ds: &SyntheticDataset, chips: usize) -> Database {
+    let mut db = ds.build_chips(chips).expect("build");
+    db.token.channel.set_capture(true);
+    db
+}
+
+/// A query whose plan exercises every batched path: a hidden range
+/// selection (B+-tree range scan + multi-level decode), a visible
+/// selection (probe runs under Pre/Post), and a wide-enough merge that
+/// `UnionStream` primes several flash readers at once.
+fn query(ds: &SyntheticDataset) -> SpjQuery {
+    let t0 = ds.schema.root();
+    let t1 = ds.schema.table_id("T1").expect("T1");
+    let t12 = ds.schema.table_id("T12").expect("T12");
+    let mut q = SpjQuery::new()
+        .pred(t1, ds.selectivity_pred("T1", "v1", 0.05))
+        .pred(t12, ds.selectivity_pred("T12", "h2", 0.1))
+        .project(t0, "id")
+        .project(t1, "v1")
+        .project(t12, "h1");
+    q.text = "io-eq-Q".into();
+    q
+}
+
+struct Observed {
+    result: ghostdb_exec::ResultSet,
+    report: ExecReport,
+    trace: ghostdb_exec::HostTrace,
+    transcript: Vec<TranscriptEntry>,
+}
+
+fn observe(db: &mut Database, q: &SpjQuery, opts: &ExecOptions) -> Observed {
+    let (result, report) = Executor::run(db, q, opts).expect("run");
+    Observed {
+        result,
+        report,
+        trace: db.untrusted.trace(),
+        transcript: db.token.channel.transcript().to_vec(),
+    }
+}
+
+/// Baseline: chips=1, read_ahead=0 (the paper's device, serial issue).
+/// Every other (chips, window) cell re-runs the whole strategy sweep on a
+/// freshly built chip-striped database and must match the baseline in
+/// every observable — results, each `ExecReport` bucket and field, the
+/// host-observable trace, and the wire transcript.
+#[test]
+fn batched_io_equals_serial_issue_bit_for_bit() {
+    let ds = dataset();
+    let q = query(&ds);
+    let mut base_db = capture_db(&ds, 1);
+    let baseline: Vec<Observed> = STRATEGIES
+        .iter()
+        .map(|s| {
+            let opts = ExecOptions::new().strategy(*s);
+            observe(&mut base_db, &q, &opts)
+        })
+        .collect();
+    for &chips in &axis("MULTICHIP_CHIPS", &CHIPS) {
+        for &window in &axis("IO_READ_AHEAD", &WINDOWS) {
+            if chips == 1 && window == 0 {
+                continue;
+            }
+            let mut db = capture_db(&ds, chips);
+            for (s, want) in STRATEGIES.iter().zip(&baseline) {
+                let opts = ExecOptions::new().strategy(*s).read_ahead(window);
+                let got = observe(&mut db, &q, &opts);
+                let label = format!("{}/chips={chips}/ra={window}", s.name());
+                assert_eq!(got.result, want.result, "{label}: results diverge");
+                for op in OpKind::ALL {
+                    assert_eq!(
+                        want.report.op(op),
+                        got.report.op(op),
+                        "{label}: {} bucket diverges",
+                        op.name()
+                    );
+                }
+                assert_eq!(want.report, got.report, "{label}: ExecReport diverges");
+                assert_eq!(got.trace, want.trace, "{label}: host trace diverges");
+                assert_eq!(
+                    got.transcript, want.transcript,
+                    "{label}: wire transcript diverges"
+                );
+            }
+        }
+    }
+}
+
+/// The serve-mode batch scheduler under read-ahead: a drained batch whose
+/// shared traversals ride the widest requested window must deliver the
+/// same outcomes (results, reports, traces, transcripts) as the same
+/// queries served with read-ahead off.
+#[test]
+fn serve_batching_with_read_ahead_is_host_invisible() {
+    use ghostdb_exec::{GhostDbServer, ServeConfig};
+    let ds = dataset();
+    let q = query(&ds);
+    let outcomes_at = |window: usize| {
+        let db = capture_db(&ds, 4);
+        let server = GhostDbServer::new(db, ServeConfig::new().queue_depth(8)).expect("server");
+        let session = server.session();
+        let mut out = Vec::new();
+        for s in [VisStrategy::Pre, VisStrategy::Post] {
+            let opts = ExecOptions::new().strategy(s).read_ahead(window);
+            out.push(session.query(&q, &opts).expect("serve query"));
+        }
+        out
+    };
+    let serial = outcomes_at(0);
+    let batched = outcomes_at(8);
+    for (a, b) in serial.iter().zip(&batched) {
+        assert_eq!(a.result, b.result, "serve: results diverge");
+        assert_eq!(a.report, b.report, "serve: reports diverge");
+        assert_eq!(a.trace, b.trace, "serve: host trace diverges");
+        assert_eq!(a.transcript, b.transcript, "serve: transcript diverges");
+    }
+}

@@ -14,7 +14,7 @@
 use ghostdb_datagen::{SyntheticDataset, SyntheticSpec};
 use ghostdb_exec::strategy::VisStrategy;
 use ghostdb_exec::{Database, ExecOptions, ExecReport, Executor, HostTrace, OpKind, SpjQuery};
-use ghostdb_flash::{FlashDevice, FlashGeometry, FlashStats, FlashTiming};
+use ghostdb_flash::{FlashDevice, FlashGeometry, FlashStats, FlashTiming, PageReq};
 use ghostdb_token::TranscriptEntry;
 use proptest::prelude::*;
 
@@ -179,14 +179,24 @@ enum Op {
     Write(u64, u8),
     Read(u64),
     Trim(u64),
+    /// A vectored 4-page read (`FlashDevice::read_batch`). Random pages mod
+    /// the span give duplicate LPNs and chip-boundary spans for free.
+    Batch([u64; 4]),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    (0u64..512, any::<u8>(), 0u8..3).prop_map(|(p, b, k)| match k {
-        0 => Op::Write(p, b),
-        1 => Op::Read(p),
-        _ => Op::Trim(p),
-    })
+    (
+        0u64..512,
+        any::<u8>(),
+        0u8..4,
+        (0u64..512, 0u64..512, 0u64..512, 0u64..512),
+    )
+        .prop_map(|(p, b, k, (b0, b1, b2, b3))| match k {
+            0 => Op::Write(p, b),
+            1 => Op::Read(p),
+            2 => Op::Trim(p),
+            _ => Op::Batch([b0, b1, b2, b3]),
+        })
 }
 
 fn tiny_device(chips: usize) -> FlashDevice {
@@ -212,6 +222,18 @@ fn apply(dev: &mut FlashDevice, op: Op, span: u64) {
             dev.read(page(p), 0, &mut buf).expect("read");
         }
         Op::Trim(p) => dev.trim(page(p)).expect("trim"),
+        Op::Batch(pages) => {
+            let reqs: Vec<PageReq> = pages
+                .iter()
+                .map(|&p| PageReq {
+                    lpn: page(p),
+                    offset: (p % 64) as usize,
+                    len: 64,
+                })
+                .collect();
+            let mut out = vec![0u8; 64 * reqs.len()];
+            dev.read_batch(&reqs, &mut out).expect("batch read");
+        }
     }
 }
 
@@ -246,5 +268,62 @@ proptest! {
         prop_assert_eq!(chunked, whole, "chunked deltas drifted from the device-wide scope");
         // And the handle-local mirrors partition the same total.
         prop_assert_eq!(root.snapshot() + fork.snapshot(), whole);
+    }
+
+    /// `read_batch` ≡ a loop of single `read`s, bit for bit: same returned
+    /// bytes, same handle-local counter delta — on mixed root/fork handles,
+    /// with duplicate LPNs and batches spanning chip boundaries (random
+    /// pages mod the span produce both), over mapped and unmapped pages.
+    /// Only the side-band overlap clock may differ (batch ≤ singles).
+    #[test]
+    fn read_batch_equals_loop_of_single_reads(
+        writes in proptest::collection::vec((0u64..512, any::<u8>()), 0..24),
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0u64..512, 0usize..8), 1..9), 1..6),
+        chips in 1usize..=4,
+    ) {
+        let mut root = tiny_device(chips);
+        let span = root.logical_pages();
+        for (p, b) in &writes {
+            let image = vec![*b; root.page_size()];
+            root.write(p % span, &image).expect("write");
+        }
+        // Two zero-counter forks over the same array: reads don't mutate
+        // flash state, so both observe identical page contents.
+        let mut batched = root.fork();
+        let mut serial = root.fork();
+        for (i, batch) in batches.iter().enumerate() {
+            let reqs: Vec<PageReq> = batch
+                .iter()
+                .map(|&(p, o)| PageReq { lpn: p % span, offset: o * 8, len: 96 })
+                .collect();
+            let mut got = vec![0u8; 96 * reqs.len()];
+            // Alternate which handle batches, so both mixes are covered.
+            let (bdev, sdev) = if i % 2 == 0 {
+                (&mut batched, &mut serial)
+            } else {
+                (&mut serial, &mut batched)
+            };
+            let bsnap = bdev.snapshot();
+            let bclock = bdev.overlap_elapsed();
+            bdev.read_batch(&reqs, &mut got).expect("batch");
+            let bdelta = bdev.stats_since(&bsnap);
+            let bclock = bdev.overlap_elapsed().saturating_sub(bclock);
+            let ssnap = sdev.snapshot();
+            let sclock = sdev.overlap_elapsed();
+            let mut want = vec![0u8; 96 * reqs.len()];
+            for (r, chunk) in reqs.iter().zip(want.chunks_mut(96)) {
+                sdev.read(r.lpn, r.offset, chunk).expect("single");
+            }
+            let sdelta = sdev.stats_since(&ssnap);
+            let sclock = sdev.overlap_elapsed().saturating_sub(sclock);
+            prop_assert_eq!(&got, &want, "batch {i}: returned bytes diverge");
+            prop_assert_eq!(bdelta, sdelta, "batch {i}: counter deltas diverge");
+            // The side-band clock: a batch's makespan never exceeds (and on
+            // multi-chip spans undercuts) the serial issue sum.
+            prop_assert!(bclock <= sclock, "batch {i}: makespan exceeds issue sum");
+        }
+        // Both forks saw the same ops overall, so their mirrors agree.
+        prop_assert_eq!(batched.snapshot(), serial.snapshot());
     }
 }
