@@ -19,7 +19,7 @@
 //! cost) stays out of the window; see `gc_headroom_of`.
 
 use crate::error::FlashError;
-use crate::ftl::Ftl;
+use crate::ftl::{check_in_page, Ftl};
 use crate::geometry::FlashGeometry;
 use crate::stats::{FlashStats, SimDuration};
 use crate::timing::FlashTiming;
@@ -48,6 +48,18 @@ impl PageReq {
             len: page_size,
         }
     }
+}
+
+/// One page-program request of a vectored batch: replace the content of
+/// logical page `lpn` with `image` — exactly the contract of
+/// [`ChipArray::write`], just batched. Images shorter than a page are
+/// zero-padded by the FTL.
+#[derive(Debug, Clone, Copy)]
+pub struct PageWrite<'a> {
+    /// Logical page to program.
+    pub lpn: Lpn,
+    /// New page content (at most one page).
+    pub image: &'a [u8],
 }
 
 /// A bank of independent NAND chips sharing one flat logical address
@@ -177,13 +189,7 @@ impl ChipArray {
         let mut routed = Vec::with_capacity(reqs.len());
         for (req, out) in reqs.iter().zip(outs.iter()) {
             let (chip, local) = self.route(req.lpn)?;
-            if req.offset + req.len > page_size {
-                return Err(FlashError::OutOfPage {
-                    offset: req.offset,
-                    len: req.len,
-                    page_size,
-                });
-            }
+            check_in_page(req.offset, req.len, page_size)?;
             assert_eq!(
                 out.len(),
                 req.len,
@@ -216,6 +222,73 @@ impl ChipArray {
             total += delta;
         }
         Ok((total, makespan))
+    }
+
+    /// Vectored write: execute a batch of page programs, binning requests
+    /// per chip and locking each involved chip exactly once. Within a
+    /// chip, submission order is preserved; chips are independent, so the
+    /// resulting device state is identical to a loop of
+    /// [`ChipArray::write`] calls in submission order.
+    ///
+    /// Billing mirrors [`ChipArray::read_batch`]: the `FlashStats` delta
+    /// is the *sum* of every per-request delta (GC charges included),
+    /// bit-identical to the loop of singles, and the `SimDuration` is the
+    /// batch **makespan** — the busiest chip's in-batch issue time with
+    /// all channels programming concurrently.
+    ///
+    /// Unlike reads, a pre-validated write can still fail mid-batch
+    /// (`OutOfSpace` when GC cannot reclaim enough room), leaving the
+    /// per-chip prefixes of the batch applied. The charged delta and
+    /// makespan of the work that *did* happen are therefore returned even
+    /// on failure, so handle-local counter mirrors stay exact. Validation
+    /// failures (bad address, oversized image) are detected before any
+    /// I/O and charge nothing.
+    pub fn write_batch(&self, reqs: &[PageWrite<'_>]) -> (FlashStats, SimDuration, Result<()>) {
+        let page_size = self.geometry.page_size;
+        let mut routed = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let (chip, local) = match self.route(req.lpn) {
+                Ok(r) => r,
+                Err(e) => return (FlashStats::default(), SimDuration::ZERO, Err(e)),
+            };
+            if req.image.len() > page_size {
+                let err = FlashError::OutOfPage {
+                    offset: 0,
+                    len: req.image.len(),
+                    page_size,
+                };
+                return (FlashStats::default(), SimDuration::ZERO, Err(err));
+            }
+            routed.push((chip, local));
+        }
+        let mut bins: Vec<Vec<usize>> = vec![Vec::new(); self.chips.len()];
+        for (i, (chip, _)) in routed.iter().enumerate() {
+            bins[*chip].push(i);
+        }
+        let mut total = FlashStats::default();
+        let mut makespan = SimDuration::ZERO;
+        for (chip, bin) in bins.iter().enumerate() {
+            if bin.is_empty() {
+                continue;
+            }
+            let mut ftl = self.chips[chip].lock().unwrap();
+            let before = *ftl.stats();
+            let mut failed = None;
+            for &i in bin {
+                let (_, local) = routed[i];
+                if let Err(e) = ftl.write(local, reqs[i].image) {
+                    failed = Some(e);
+                    break;
+                }
+            }
+            let delta = *ftl.stats() - before;
+            makespan = makespan.max(delta.elapsed(&self.timing, page_size));
+            total += delta;
+            if let Some(e) = failed {
+                return (total, makespan, Err(e));
+            }
+        }
+        (total, makespan, Ok(()))
     }
 
     /// Cumulative counters of one chip.

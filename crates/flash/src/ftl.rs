@@ -11,10 +11,113 @@ use crate::geometry::FlashGeometry;
 use crate::nand::NandArray;
 use crate::stats::FlashStats;
 use crate::{Lpn, Ppn, Result};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Keep at least this many free blocks at all times; GC kicks in below it.
 /// One block is always needed as the relocation destination.
 const GC_LOW_WATER: usize = 2;
+
+/// Overflow-safe in-page range check: `offset + len` must fit in the page.
+/// The addition itself can exceed `usize::MAX` for hostile offsets, which
+/// would wrap in release builds and sail past a plain `>` guard.
+pub(crate) fn check_in_page(offset: usize, len: usize, page_size: usize) -> Result<()> {
+    match offset.checked_add(len) {
+        Some(end) if end <= page_size => Ok(()),
+        _ => Err(FlashError::OutOfPage {
+            offset,
+            len,
+            page_size,
+        }),
+    }
+}
+
+/// Wear-levelling pool of erased blocks with O(log n) least-erased
+/// selection.
+///
+/// Replaces the original `Vec<u64>` + `min_by_key` erase-count scan (O(n)
+/// per block activation — quadratic over a long ingest) while keeping the
+/// selected block, including tie-breaking, **bit-identical**: the pool
+/// mirrors the Vec's ordering discipline exactly (push appends, take
+/// swap-removes) and resolves erase-count ties to the smallest slot index,
+/// which is precisely the element `Iterator::min_by_key` returns. This is
+/// sound because a block's erase count is static while it sits in the pool:
+/// the erase happens before the push, and nothing erases a free block.
+#[derive(Debug, Default)]
+pub struct FreeBlockPool {
+    /// `(block, erase count at push time)`, in exactly the order the plain
+    /// `Vec<u64>` implementation would hold the blocks.
+    slots: Vec<(u64, u64)>,
+    /// Erase count → slot positions currently holding that count.
+    by_count: BTreeMap<u64, BTreeSet<usize>>,
+    /// Membership bitmap indexed by block id.
+    is_free: Vec<bool>,
+}
+
+impl FreeBlockPool {
+    /// An empty pool able to track blocks `0..block_count`.
+    pub fn new(block_count: u64) -> Self {
+        FreeBlockPool {
+            slots: Vec::new(),
+            by_count: BTreeMap::new(),
+            is_free: vec![false; block_count as usize],
+        }
+    }
+
+    /// Number of free blocks.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no blocks are free.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// True if `block` is currently in the pool.
+    pub fn contains(&self, block: u64) -> bool {
+        self.is_free.get(block as usize).copied().unwrap_or(false)
+    }
+
+    /// Append a freshly erased block (mirrors `Vec::push`).
+    pub fn push(&mut self, block: u64, erase_count: u64) {
+        let pos = self.slots.len();
+        self.slots.push((block, erase_count));
+        self.by_count.entry(erase_count).or_default().insert(pos);
+        self.is_free[block as usize] = true;
+    }
+
+    fn bucket_remove(&mut self, count: u64, pos: usize) {
+        let bucket = self.by_count.get_mut(&count).expect("bucket exists");
+        bucket.remove(&pos);
+        if bucket.is_empty() {
+            self.by_count.remove(&count);
+        }
+    }
+
+    /// Remove the slot at `pos` with `Vec::swap_remove` semantics, keeping
+    /// the position index coherent.
+    fn swap_remove(&mut self, pos: usize) -> u64 {
+        let (block, count) = self.slots[pos];
+        self.bucket_remove(count, pos);
+        let last = self.slots.len() - 1;
+        if pos != last {
+            let (_, last_count) = self.slots[last];
+            self.bucket_remove(last_count, last);
+            self.by_count.entry(last_count).or_default().insert(pos);
+        }
+        self.slots.swap_remove(pos);
+        self.is_free[block as usize] = false;
+        block
+    }
+
+    /// Take the least-erased free block; ties go to the smallest slot index
+    /// (= the first minimum a linear `min_by_key` scan would find).
+    pub fn take_least_erased(&mut self) -> Option<u64> {
+        let (_, positions) = self.by_count.iter().next()?;
+        let pos = *positions.iter().next().expect("bucket non-empty");
+        Some(self.swap_remove(pos))
+    }
+}
 
 /// Page-mapped FTL over a [`NandArray`].
 #[derive(Debug)]
@@ -25,9 +128,9 @@ pub struct Ftl {
     /// Block currently receiving programs, and the next page index in it.
     active_block: u64,
     next_in_active: u64,
-    /// Erased blocks ready to become active, kept unordered; selection
-    /// applies wear levelling (lowest erase count first).
-    free_blocks: Vec<u64>,
+    /// Erased blocks ready to become active; selection applies wear
+    /// levelling (lowest erase count first, first-minimum tie-break).
+    free_blocks: FreeBlockPool,
     stats: FlashStats,
     scratch: Vec<u8>,
     /// True while GC relocates pages; suppresses re-entrant GC. The
@@ -39,8 +142,14 @@ impl Ftl {
     /// A fresh FTL over an erased array.
     pub fn new(geometry: FlashGeometry) -> Self {
         let nand = NandArray::new(geometry);
-        let mut free_blocks: Vec<u64> = (0..geometry.block_count).collect();
-        let active_block = free_blocks.pop().expect("geometry has at least one block");
+        assert!(geometry.block_count > 0, "geometry has at least one block");
+        // The highest block starts active; the rest are free with erase
+        // count 0 (same state the old `collect` + `pop` produced).
+        let active_block = geometry.block_count - 1;
+        let mut free_blocks = FreeBlockPool::new(geometry.block_count);
+        for block in 0..active_block {
+            free_blocks.push(block, 0);
+        }
         Ftl {
             map: vec![None; geometry.logical_pages() as usize],
             active_block,
@@ -83,13 +192,7 @@ impl Ftl {
     pub fn read(&mut self, lpn: Lpn, offset: usize, buf: &mut [u8]) -> Result<()> {
         self.check_lpn(lpn)?;
         let page_size = self.geometry().page_size;
-        if offset + buf.len() > page_size {
-            return Err(FlashError::OutOfPage {
-                offset,
-                len: buf.len(),
-                page_size,
-            });
-        }
+        check_in_page(offset, buf.len(), page_size)?;
         match self.map[lpn as usize] {
             Some(ppn) => {
                 self.nand.read(ppn, offset, buf);
@@ -135,13 +238,7 @@ impl Ftl {
     pub fn write_at(&mut self, lpn: Lpn, offset: usize, data: &[u8]) -> Result<()> {
         self.check_lpn(lpn)?;
         let page_size = self.geometry().page_size;
-        if offset + data.len() > page_size {
-            return Err(FlashError::OutOfPage {
-                offset,
-                len: data.len(),
-                page_size,
-            });
-        }
+        check_in_page(offset, data.len(), page_size)?;
         // Allocate first: GC may run inside, use the scratch buffer, and
         // relocate the page we are about to read — the map stays correct.
         let ppn = self.allocate_page()?;
@@ -212,16 +309,9 @@ impl Ftl {
 
     /// Wear levelling: always activate the least-erased free block.
     fn take_free_block(&mut self) -> Result<u64> {
-        if self.free_blocks.is_empty() {
-            return Err(FlashError::OutOfSpace);
-        }
-        let (idx, _) = self
-            .free_blocks
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, b)| self.nand.erase_count(**b))
-            .expect("non-empty");
-        Ok(self.free_blocks.swap_remove(idx))
+        self.free_blocks
+            .take_least_erased()
+            .ok_or(FlashError::OutOfSpace)
     }
 
     /// Greedy GC: while free blocks are scarce, erase the block with the
@@ -254,7 +344,7 @@ impl Ftl {
     fn pick_victim(&self) -> Option<u64> {
         let geometry = *self.geometry();
         (0..geometry.block_count)
-            .filter(|b| *b != self.active_block && !self.free_blocks.contains(b))
+            .filter(|b| *b != self.active_block && !self.free_blocks.contains(*b))
             .filter(|b| self.nand.invalid_in_block(*b) > 0)
             .max_by_key(|b| {
                 (
@@ -283,7 +373,7 @@ impl Ftl {
         }
         self.nand.erase_block(victim);
         self.stats.blocks_erased += 1;
-        self.free_blocks.push(victim);
+        self.free_blocks.push(victim, self.nand.erase_count(victim));
         Ok(())
     }
 }
@@ -437,6 +527,101 @@ mod tests {
             ftl.read(0, 0, &mut buf),
             Err(FlashError::OutOfPage { .. })
         ));
+    }
+
+    #[test]
+    fn overflowing_offsets_return_out_of_page_not_panic() {
+        // Regression: `offset + len` used to be an unchecked usize addition;
+        // offsets near usize::MAX wrapped in release builds, passed the
+        // `> page_size` guard, and panicked inside NandArray.
+        let mut ftl = tiny_ftl();
+        ftl.write(0, &[7; 16]).unwrap();
+        let mut buf = [0u8; 16];
+        for offset in [usize::MAX, usize::MAX - 1, usize::MAX - 15] {
+            assert!(
+                matches!(
+                    ftl.read(0, offset, &mut buf),
+                    Err(FlashError::OutOfPage { .. })
+                ),
+                "read at offset {offset}"
+            );
+            assert!(
+                matches!(
+                    ftl.write_at(0, offset, &[1; 16]),
+                    Err(FlashError::OutOfPage { .. })
+                ),
+                "write_at at offset {offset}"
+            );
+        }
+        // Exact-boundary accesses still work.
+        let page = ftl.geometry().page_size;
+        ftl.read(0, page - 1, &mut buf[..1]).unwrap();
+        ftl.write_at(0, page - 1, &[9]).unwrap();
+        // One past the end is rejected without overflow.
+        assert!(matches!(
+            ftl.read(0, page, &mut buf[..1]),
+            Err(FlashError::OutOfPage { .. })
+        ));
+    }
+
+    #[test]
+    fn free_block_pool_matches_min_by_key_reference() {
+        // The pool must select exactly what the old linear scan selected:
+        // the first block (in Vec order) with the minimal erase count.
+        let mut pool = FreeBlockPool::new(8);
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        let pushes: [(u64, u64); 8] = [
+            (3, 5),
+            (1, 2),
+            (7, 2),
+            (0, 9),
+            (4, 2),
+            (2, 0),
+            (6, 0),
+            (5, 7),
+        ];
+        let mut i = 0;
+        for round in 0..pushes.len() * 2 {
+            if round % 3 != 2 && i < pushes.len() {
+                let (b, c) = pushes[i];
+                i += 1;
+                pool.push(b, c);
+                reference.push((b, c));
+            } else if !reference.is_empty() {
+                let (idx, _) = reference
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, c))| *c)
+                    .unwrap();
+                let want = reference.swap_remove(idx).0;
+                assert_eq!(pool.take_least_erased(), Some(want));
+            }
+        }
+        while let Some(got) = pool.take_least_erased() {
+            let (idx, _) = reference
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, c))| *c)
+                .unwrap();
+            assert_eq!(got, reference.swap_remove(idx).0);
+        }
+        assert!(reference.is_empty());
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn free_block_pool_membership_tracks_take_and_push() {
+        let mut pool = FreeBlockPool::new(4);
+        pool.push(0, 1);
+        pool.push(2, 0);
+        assert!(pool.contains(0) && pool.contains(2));
+        assert!(!pool.contains(1) && !pool.contains(3));
+        assert_eq!(pool.take_least_erased(), Some(2));
+        assert!(!pool.contains(2));
+        assert_eq!(pool.len(), 1);
+        pool.push(2, 1);
+        // Tie on erase count 1: block 0 sits at slot 0, before block 2.
+        assert_eq!(pool.take_least_erased(), Some(0));
     }
 
     #[test]

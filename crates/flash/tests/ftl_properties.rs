@@ -2,7 +2,7 @@
 //! arbitrary interleavings of writes, partial writes, trims and reads, with
 //! garbage collection and wear levelling running underneath.
 
-use ghostdb_flash::{FlashDevice, FlashGeometry, FlashTiming};
+use ghostdb_flash::{FlashDevice, FlashGeometry, FlashTiming, FreeBlockPool};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -77,6 +77,54 @@ proptest! {
             let expect = model.get(&lpn).cloned().unwrap_or_else(|| vec![0u8; 256]);
             prop_assert_eq!(&buf, &expect, "final lpn {}", lpn);
         }
+    }
+
+    #[test]
+    fn free_block_pool_is_bit_identical_to_the_linear_scan(
+        // Erase counts drawn from a small range to force heavy ties; the
+        // op stream interleaves pushes and takes in arbitrary order.
+        ops in proptest::collection::vec((any::<bool>(), 0u64..6), 1..200)
+    ) {
+        const BLOCKS: u64 = 64;
+        let mut pool = FreeBlockPool::new(BLOCKS);
+        // Reference: the original representation — a Vec in push order,
+        // selection by `min_by_key` over erase counts, `swap_remove`.
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        let mut next_block = 0u64;
+        for (take, count) in ops {
+            if take {
+                let want = reference
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, c))| *c)
+                    .map(|(idx, _)| idx);
+                let got = pool.take_least_erased();
+                match want {
+                    Some(idx) => {
+                        let (block, _) = reference.swap_remove(idx);
+                        prop_assert_eq!(got, Some(block));
+                        prop_assert!(!pool.contains(block));
+                    }
+                    None => prop_assert_eq!(got, None),
+                }
+            } else if next_block < BLOCKS {
+                pool.push(next_block, count);
+                reference.push((next_block, count));
+                prop_assert!(pool.contains(next_block));
+                next_block += 1;
+            }
+            prop_assert_eq!(pool.len(), reference.len());
+        }
+        // Drain: every remaining selection must match the scan.
+        while let Some(got) = pool.take_least_erased() {
+            let (idx, _) = reference
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, c))| *c)
+                .expect("reference still has blocks");
+            prop_assert_eq!(got, reference.swap_remove(idx).0);
+        }
+        prop_assert!(reference.is_empty());
     }
 
     #[test]

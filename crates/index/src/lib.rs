@@ -22,11 +22,15 @@
 
 pub mod builder;
 pub mod climbing;
+pub mod maintain;
 pub mod schemes;
 pub mod size_model;
 pub mod skt;
 
 pub use builder::{ClimbingSpec, FkData, IndexBuilder};
 pub use climbing::{CiProbe, ClimbingIndex, LevelSpec};
+pub use maintain::{
+    build_from_state, LevelState, MaintainedIndex, MaintainedSkt, MaintenanceStrategy,
+};
 pub use schemes::IndexScheme;
 pub use skt::SubtreeKeyTable;

@@ -204,6 +204,12 @@ impl BTree {
         self.segment.pages() * self.page_size as u64
     }
 
+    /// Backing segment (so owners can free a superseded tree when an
+    /// index rebuilds itself out of place).
+    pub fn segment(&self) -> &StripedSegment {
+        &self.segment
+    }
+
     /// Open a cursor (pins one RAM buffer per level — the §3.4 budget).
     pub fn cursor(&self, ram: &RamArena) -> Result<BTreeCursor> {
         let mut bufs = Vec::with_capacity(self.height as usize);

@@ -140,6 +140,46 @@ fn host_trace_identical_across_repeats() {
     assert_eq!(first, fresh, "trace depends on database instance");
 }
 
+/// The ingest flow is as deterministic as the query flow: building the
+/// same logical content twice — staging, download, index construction, GC
+/// included — produces bit-identical wire transcripts, host traces and
+/// flash counters. Scheduling or allocator noise in the write path would
+/// otherwise be a covert channel of its own (SECURITY.md claim 13).
+#[test]
+fn ingest_replay_is_deterministic() {
+    use ghostdb_core::{GhostDb, GhostDbConfig};
+    use ghostdb_storage::Value;
+
+    let build = || {
+        let mut db = GhostDb::new(GhostDbConfig {
+            capture_channel: true,
+            ..Default::default()
+        });
+        db.execute("CREATE TABLE Ledger (id INT, bucket CHAR(8), amount INT HIDDEN)")
+            .expect("DDL");
+        db.insert_rows(
+            "Ledger",
+            (0..96)
+                .map(|i| vec![Value::Str(format!("B{:03}", i % 11)), Value::Int(i * 7)])
+                .collect(),
+        )
+        .expect("load");
+        db.finalize().expect("finalize");
+        db
+    };
+    let a = build();
+    let b = build();
+    let view = |db: &GhostDb| {
+        let inner = db.database().expect("loaded");
+        (
+            inner.token.channel.transcript().to_vec(),
+            db.host_trace().expect("trace"),
+            inner.token.flash.stats(),
+        )
+    };
+    assert_eq!(view(&a), view(&b), "ingest replay diverged");
+}
+
 /// The trace reset lives with the session, not the database: when two
 /// serve-mode sessions interleave on one server, each session's captured
 /// trace is exactly the solo trace of its own query — session B's traffic

@@ -237,6 +237,39 @@ fn padding_quantises_visible_volume() {
     );
 }
 
+/// SECURITY.md claim 13: the *write path* leaks nothing either. Before any
+/// query runs, the ingest flow itself — staging, vertical partitioning,
+/// download to the token, index construction, every flash program and any
+/// GC it triggers — must look bit-identical from outside the token for two
+/// worlds that differ only in hidden values: same wire transcript, same
+/// host trace, and the same device-wide flash counters (writes, GC page
+/// movement, block erases — placement is a pure function of the operation
+/// sequence, never of hidden bytes).
+#[test]
+fn ingest_flow_invisible() {
+    let mut a = world(0);
+    let mut b = world(500_000);
+    a.finalize().expect("finalize A");
+    b.finalize().expect("finalize B");
+    assert_eq!(
+        transcript(&a),
+        transcript(&b),
+        "ingest wire view must not depend on hidden data"
+    );
+    assert_eq!(
+        a.host_trace().unwrap(),
+        b.host_trace().unwrap(),
+        "ingest host view must not depend on hidden data"
+    );
+    let flash = |db: &GhostDb| db.database().expect("loaded").token.flash.stats();
+    assert_eq!(
+        flash(&a),
+        flash(&b),
+        "flash placement counters must not depend on hidden data"
+    );
+    assert!(a.audit().unwrap().ok, "ingest flows must pass the auditor");
+}
+
 /// Padding is pure overhead: results are value-identical to exact mode,
 /// and the report's channel traffic can only grow.
 #[test]

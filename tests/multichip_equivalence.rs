@@ -14,7 +14,7 @@
 use ghostdb_datagen::{SyntheticDataset, SyntheticSpec};
 use ghostdb_exec::strategy::VisStrategy;
 use ghostdb_exec::{Database, ExecOptions, ExecReport, Executor, HostTrace, OpKind, SpjQuery};
-use ghostdb_flash::{FlashDevice, FlashGeometry, FlashStats, FlashTiming, PageReq};
+use ghostdb_flash::{FlashDevice, FlashGeometry, FlashStats, FlashTiming, PageReq, PageWrite};
 use ghostdb_token::TranscriptEntry;
 use proptest::prelude::*;
 
@@ -182,20 +182,25 @@ enum Op {
     /// A vectored 4-page read (`FlashDevice::read_batch`). Random pages mod
     /// the span give duplicate LPNs and chip-boundary spans for free.
     Batch([u64; 4]),
+    /// A vectored 4-page write (`FlashDevice::write_batch`): exercises
+    /// write and GC counter attribution (`gc_pages_read`/`gc_pages_written`/
+    /// `blocks_erased`) through the batched path.
+    WriteBatch([u64; 4], u8),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     (
         0u64..512,
         any::<u8>(),
-        0u8..4,
+        0u8..5,
         (0u64..512, 0u64..512, 0u64..512, 0u64..512),
     )
         .prop_map(|(p, b, k, (b0, b1, b2, b3))| match k {
             0 => Op::Write(p, b),
             1 => Op::Read(p),
             2 => Op::Trim(p),
-            _ => Op::Batch([b0, b1, b2, b3]),
+            3 => Op::Batch([b0, b1, b2, b3]),
+            _ => Op::WriteBatch([b0, b1, b2, b3], b),
         })
 }
 
@@ -233,6 +238,23 @@ fn apply(dev: &mut FlashDevice, op: Op, span: u64) {
                 .collect();
             let mut out = vec![0u8; 64 * reqs.len()];
             dev.read_batch(&reqs, &mut out).expect("batch read");
+        }
+        Op::WriteBatch(pages, b) => {
+            let page_size = dev.page_size();
+            let images: Vec<Vec<u8>> = pages
+                .iter()
+                .enumerate()
+                .map(|(i, _)| vec![b.wrapping_add(i as u8); page_size])
+                .collect();
+            let reqs: Vec<PageWrite> = pages
+                .iter()
+                .zip(&images)
+                .map(|(&p, image)| PageWrite {
+                    lpn: page(p),
+                    image,
+                })
+                .collect();
+            dev.write_batch(&reqs).expect("batch write");
         }
     }
 }
@@ -325,5 +347,60 @@ proptest! {
         }
         // Both forks saw the same ops overall, so their mirrors agree.
         prop_assert_eq!(batched.snapshot(), serial.snapshot());
+    }
+
+    /// `write_batch` ≡ a loop of single `write`s, bit for bit. Writes
+    /// mutate flash state, so the comparison runs on two *separate*
+    /// devices driven identically: one takes each batch vectored, the
+    /// other as singles in submission order. Counters (GC charges
+    /// included), final page contents and device-wide ground truth must
+    /// all agree; only the side-band overlap clock may differ
+    /// (batch makespan ≤ serial issue sum). Sustained full-page overwrite
+    /// churn past the headroom drives GC inside batches.
+    #[test]
+    fn write_batch_equals_loop_of_single_writes(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0u64..512, any::<u8>()), 1..9), 4..24),
+        chips in 1usize..=4,
+    ) {
+        let mut batched = tiny_device(chips);
+        let mut serial = tiny_device(chips);
+        let span = batched.logical_pages();
+        let page_size = batched.page_size();
+        for (i, batch) in batches.iter().enumerate() {
+            let images: Vec<Vec<u8>> = batch
+                .iter()
+                .map(|&(p, b)| vec![b ^ (p as u8); page_size])
+                .collect();
+            let reqs: Vec<PageWrite> = batch
+                .iter()
+                .zip(&images)
+                .map(|(&(p, _), image)| PageWrite { lpn: p % span, image })
+                .collect();
+            let bsnap = batched.snapshot();
+            let bclock = batched.overlap_elapsed();
+            batched.write_batch(&reqs).expect("batch write");
+            let bdelta = batched.stats_since(&bsnap);
+            let bclock = batched.overlap_elapsed().saturating_sub(bclock);
+            let ssnap = serial.snapshot();
+            let sclock = serial.overlap_elapsed();
+            for r in &reqs {
+                serial.write(r.lpn, r.image).expect("single write");
+            }
+            let sdelta = serial.stats_since(&ssnap);
+            let sclock = serial.overlap_elapsed().saturating_sub(sclock);
+            prop_assert_eq!(bdelta, sdelta, "batch {}: counter deltas diverge", i);
+            prop_assert!(bclock <= sclock, "batch {}: makespan exceeds issue sum", i);
+        }
+        // Whole-run ground truth: same counters on both devices...
+        prop_assert_eq!(batched.stats(), serial.stats());
+        // ...and the same logical page contents everywhere.
+        for lpn in 0..span {
+            let mut a = vec![0u8; page_size];
+            let mut b = vec![0u8; page_size];
+            batched.read(lpn, 0, &mut a).expect("read batched device");
+            serial.read(lpn, 0, &mut b).expect("read serial device");
+            prop_assert_eq!(a, b, "page {} contents diverge", lpn);
+        }
     }
 }
